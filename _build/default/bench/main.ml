@@ -1,0 +1,110 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (via Pacstack_report) and then runs one Bechamel
+   micro-benchmark per table/figure plus primitive micro-benchmarks, so
+   the cost of each reproduction kernel is itself measured. *)
+
+open Bechamel
+open Toolkit
+module Rng = Pacstack_util.Rng
+module Scheme = Pacstack_harden.Scheme
+module Speclike = Pacstack_workloads.Speclike
+module Server = Pacstack_workloads.Server
+module Games = Pacstack_acs.Games
+module Analysis = Pacstack_acs.Analysis
+module Machine = Pacstack_machine.Machine
+module Compile = Pacstack_minic.Compile
+
+let ( .%[] ) tbl key = Hashtbl.find tbl key
+
+(* --- one Test.make per table/figure ----------------------------------- *)
+
+let test_table1 =
+  Test.make ~name:"table1_cell"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 11L in
+         Games.violation_success ~masked:true ~kind:Analysis.Off_graph_to_call_site ~bits:8
+           ~trials:200 rng))
+
+let bench_spec name =
+  match Speclike.find name with
+  | Some b -> b
+  | None -> failwith ("unknown benchmark " ^ name)
+
+let test_table2 =
+  Test.make ~name:"table2_mcf_pacstack"
+    (Staged.stage (fun () ->
+         Speclike.measure ~scheme:Scheme.pacstack Speclike.Rate (bench_spec "mcf")))
+
+let test_figure5 =
+  Test.make ~name:"figure5_x264_baseline"
+    (Staged.stage (fun () ->
+         Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate (bench_spec "x264")))
+
+let test_table3 =
+  Test.make ~name:"table3_handshake"
+    (Staged.stage (fun () -> Server.measure ~scheme:Scheme.pacstack ~workers:4 ~variants:2 ()))
+
+(* --- primitive micro-benchmarks ---------------------------------------- *)
+
+let qarma_prf =
+  Pacstack_qarma.Prf.create (Pacstack_qarma.Qarma64.random_key (Rng.create 5L))
+
+let fast_prf = Pacstack_qarma.Prf.create_fast 0x1234L
+
+let test_qarma =
+  Test.make ~name:"qarma64_mac"
+    (Staged.stage (fun () -> Pacstack_qarma.Prf.mac64 qarma_prf ~data:42L ~modifier:7L))
+
+let test_fast_mac =
+  Test.make ~name:"fast_mac"
+    (Staged.stage (fun () -> Pacstack_qarma.Prf.mac64 fast_prf ~data:42L ~modifier:7L))
+
+let fib_machine =
+  let program =
+    Pacstack_minic.(
+      Compile.compile ~scheme:Scheme.pacstack
+        (Ast.program
+           [
+             Ast.fdef "fib" ~params:[ "n" ] ~locals:[ Ast.Scalar "a"; Ast.Scalar "b" ]
+               Build.
+                 [
+                   if_ (v "n" <= i 1) [ ret (v "n") ] [];
+                   set "a" (call "fib" [ v "n" - i 1 ]);
+                   set "b" (call "fib" [ v "n" - i 2 ]);
+                   ret (v "a" + v "b");
+                 ];
+             Ast.fdef "main" ~locals:[ Ast.Scalar "r" ]
+               Build.[ set "r" (call "fib" [ i 10 ]); ret (i 0) ];
+           ]))
+  in
+  fun () -> Machine.run ~fuel:100_000 (Machine.load program)
+
+let test_machine =
+  Test.make ~name:"machine_fib10_pacstack" (Staged.stage fib_machine)
+
+let tests =
+  Test.make_grouped ~name:"pacstack"
+    [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac; test_machine ]
+
+let run_bechamel () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  Format.printf "@.=== Bechamel micro-benchmarks (monotonic clock) ===@.";
+  List.iter
+    (fun name ->
+      let est =
+        match Analyze.OLS.estimates results.%[name] with
+        | Some [ t ] -> Printf.sprintf "%12.1f ns/run" t
+        | Some _ | None -> "(no estimate)"
+      in
+      Format.printf "%-32s %s@." name est)
+    (List.sort compare names)
+
+let () =
+  Format.printf "PACStack reproduction: regenerating all tables and figures@.";
+  Pacstack_report.Report.all Format.std_formatter;
+  run_bechamel ();
+  Format.printf "@.done.@."

@@ -1,0 +1,236 @@
+(* Command-line front end for the PACStack reproduction: run assembly
+   programs or the built-in workloads under any hardening scheme, and
+   regenerate the paper's tables, figures and attack experiments. *)
+
+open Cmdliner
+module Scheme = Pacstack_harden.Scheme
+module Machine = Pacstack_machine.Machine
+module Trap = Pacstack_machine.Trap
+module Speclike = Pacstack_workloads.Speclike
+module Confirm = Pacstack_workloads.Confirm
+module Report = Pacstack_report.Report
+
+let scheme_conv =
+  let parse s =
+    match Scheme.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  Arg.conv (parse, Scheme.pp)
+
+let scheme_arg =
+  let doc =
+    "Hardening scheme: baseline, stack-protector-strong, branch-protection, \
+     shadow-call-stack, pacstack-nomask or pacstack."
+  in
+  Arg.(value & opt scheme_conv Scheme.pacstack & info [ "s"; "scheme" ] ~doc)
+
+let report_outcome machine = function
+  | Machine.Halted code ->
+    List.iter (fun v -> Printf.printf "%Ld\n" v) (Machine.output machine);
+    Printf.printf "exit %d after %d cycles (%d instructions)\n" code (Machine.cycles machine)
+      (Machine.instructions_retired machine);
+    if code = 0 then 0 else 1
+  | Machine.Faulted f ->
+    Printf.printf "fault: %s\n" (Trap.to_string f);
+    2
+  | Machine.Out_of_fuel ->
+    print_endline "out of fuel";
+    3
+
+(* --- run: execute an assembly file -------------------------------------- *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
+  in
+  let action file fuel =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Pacstack_isa.Asm.parse text with
+    | exception Pacstack_isa.Asm.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      1
+    | program ->
+      let machine = Machine.load program in
+      report_outcome machine (Machine.run ~fuel machine)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Assemble and run a program on the simulated machine.")
+    Term.(const action $ file $ fuel)
+
+(* --- bench: run a built-in SPEC-like benchmark -------------------------- *)
+
+let bench_cmd =
+  let bench_name =
+    let names = String.concat ", " (List.map (fun b -> b.Speclike.name) Speclike.all) in
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:("One of: " ^ names))
+  in
+  let speed =
+    Arg.(value & flag & info [ "speed" ] ~doc:"Use the SPECspeed-like scale.")
+  in
+  let action scheme name speed =
+    match Speclike.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %S\n" name;
+      1
+    | Some bench ->
+      let variant = if speed then Speclike.Speed else Speclike.Rate in
+      let baseline = Speclike.measure ~scheme:Scheme.Unprotected variant bench in
+      let m = Speclike.measure ~scheme variant bench in
+      Printf.printf "%s (%s) under %s: %d cycles, %d instructions, checksum %Ld\n" name
+        (Speclike.variant_to_string variant)
+        (Scheme.to_string scheme) m.Speclike.cycles m.Speclike.instructions m.Speclike.checksum;
+      Printf.printf "overhead vs baseline: %.2f%%\n" (Speclike.overhead_pct ~baseline m);
+      0
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one SPEC-like benchmark under a scheme.")
+    Term.(const action $ scheme_arg $ bench_name $ speed)
+
+(* --- confirm: compatibility suite ---------------------------------------- *)
+
+let confirm_cmd =
+  let action scheme =
+    let results = Confirm.run_all ~scheme in
+    let failed = ref 0 in
+    List.iter
+      (fun (t, outcome) ->
+        match outcome with
+        | Confirm.Pass -> Printf.printf "PASS %-20s %s\n" t.Confirm.name t.Confirm.description
+        | Confirm.Fail m ->
+          incr failed;
+          Printf.printf "FAIL %-20s %s\n" t.Confirm.name m)
+      results;
+    if !failed = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "confirm" ~doc:"Run the ConFIRM-style compatibility suite under a scheme.")
+    Term.(const action $ scheme_arg)
+
+(* --- report sections ------------------------------------------------------ *)
+
+let section_cmd name doc render =
+  let action () =
+    render Format.std_formatter;
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ const ())
+
+let seeded render ?seed fmt = render ?seed fmt
+
+let all_cmd =
+  section_cmd "all" "Regenerate every table, figure and security experiment." (fun fmt ->
+      Report.all fmt)
+
+(* --- disasm: show what the loader put in the executable pages ----------- *)
+
+let disasm_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
+  in
+  let action file =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Pacstack_isa.Asm.parse text with
+    | exception Pacstack_isa.Asm.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      1
+    | program ->
+      let image = Pacstack_machine.Image.build program in
+      print_endline (Pacstack_machine.Image.disassemble image);
+      0
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Assemble a program, encode it to binary and disassemble the binary back.")
+    Term.(const action $ file)
+
+(* --- cc: compile and run mini-C sources ----------------------------------- *)
+
+let cc_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc" ~doc:"mini-C source file.")
+  in
+  let emit_asm =
+    Arg.(value & flag & info [ "S"; "emit-asm" ] ~doc:"Print the generated assembly instead of running.")
+  in
+  let optimize = Arg.(value & flag & info [ "O" ] ~doc:"Enable the peephole optimizer.") in
+  let action scheme file emit_asm optimize =
+    match Pacstack_minic.Parse.from_file file with
+    | exception Pacstack_minic.Parse.Error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      1
+    | ast -> (
+      List.iter
+        (fun d ->
+          Printf.eprintf "%s: %s\n" file
+            (Format.asprintf "%a" Pacstack_minic.Check.pp_diagnostic d))
+        (Pacstack_minic.Check.program ast);
+      match Pacstack_minic.Compile.compile ~scheme ~optimize (Pacstack_minic.Check.check_exn ast) with
+      | exception Pacstack_minic.Compile.Error m ->
+        Printf.eprintf "%s: %s\n" file m;
+        1
+      | program ->
+        if emit_asm then begin
+          print_string (Pacstack_isa.Asm.print program);
+          0
+        end
+        else begin
+          let machine = Machine.load program in
+          report_outcome machine (Machine.run machine)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "cc" ~doc:"Compile a mini-C source file under a scheme and run it.")
+    Term.(const action $ scheme_arg $ file $ emit_asm $ optimize)
+
+(* --- export: CSVs for replotting ----------------------------------------- *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "results" & info [ "o"; "output" ] ~doc:"Output directory.")
+  in
+  let action dir =
+    let paths = Pacstack_report.Export.all ~dir () in
+    List.iter print_endline paths;
+    0
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write every table/figure as CSV for external plotting.")
+    Term.(const action $ dir)
+
+let cmds =
+  [
+    run_cmd;
+    cc_cmd;
+    bench_cmd;
+    confirm_cmd;
+    disasm_cmd;
+    export_cmd;
+    section_cmd "table1" "Table 1: violation success probabilities." (fun fmt ->
+        seeded Report.table1 fmt);
+    section_cmd "table2" "Table 2 and Figure 5: SPEC-like overheads." Report.table2_and_figure5;
+    section_cmd "table3" "Table 3: server throughput." Report.table3;
+    section_cmd "attacks" "The Listing 6 attack matrix." Report.reuse_matrix;
+    section_cmd "games" "Collision, masking and brute-force games." (fun fmt ->
+        seeded Report.birthday fmt;
+        seeded Report.bruteforce fmt);
+    section_cmd "gadget" "The PA signing-gadget experiment." Report.gadget;
+    section_cmd "sigreturn" "Sigreturn attack and the Appendix B defence." Report.sigreturn;
+    section_cmd "unwind" "ACS-validated unwinding demo." Report.unwind_demo;
+    section_cmd "interop" "Mixed instrumented/uninstrumented deployment (9.2)." Report.interop;
+    section_cmd "cfi" "Forward-edge CFI experiments (assumption A2)." Report.forward_cfi;
+    all_cmd;
+  ]
+
+let () =
+  let info =
+    Cmd.info "pacstack" ~version:"1.0.0"
+      ~doc:"Authenticated call stack (PACStack) reproduction toolkit"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

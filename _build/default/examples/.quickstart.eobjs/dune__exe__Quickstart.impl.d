@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 List Pacstack_harden Pacstack_isa Pacstack_machine Pacstack_minic Printf String

@@ -1,0 +1,1 @@
+examples/reuse_attack.ml: List Pacstack_attacker Pacstack_harden Printf String

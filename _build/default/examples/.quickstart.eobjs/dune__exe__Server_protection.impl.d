@@ -1,0 +1,1 @@
+examples/server_protection.ml: List Pacstack_harden Pacstack_workloads Printf

@@ -1,0 +1,56 @@
+(* Irregular stack unwinding under PACStack (§4.4, §5.3, §9.1).
+
+   1. setjmp/longjmp work unchanged: the PACStack wrappers bind the saved
+      return address to the chain and the SP value (Listings 4–5).
+   2. A forged jmp_buf (the adversary splices in a different chain value)
+      is rejected when the target is revalidated.
+   3. The ACS-validated unwinder walks the frame chain, authenticating
+      every step — the libunwind extension the paper proposes.
+
+   Run with: dune exec examples/irregular_unwinding.exe *)
+
+module Scenarios = Pacstack_workloads.Scenarios
+module Scheme = Pacstack_harden.Scheme
+module Compile = Pacstack_minic.Compile
+module Machine = Pacstack_machine.Machine
+module Unwind = Pacstack_machine.Unwind
+module Adversary = Pacstack_attacker.Adversary
+
+let depth = 5
+
+let run ~forge =
+  let program = Compile.compile ~scheme:Scheme.pacstack (Scenarios.unwind_victim ~depth) in
+  let machine = Machine.load program in
+  Machine.attach_hook machine "deep" (fun m ->
+      let jb = Option.get (Adversary.symbol m "jb") in
+      (match Unwind.backtrace m with
+      | Ok frames ->
+        Printf.printf "  validated backtrace from the bottom of the recursion (%d frames):\n"
+          (List.length frames);
+        List.iter
+          (fun f ->
+            Printf.printf "    ret -> %s\n"
+              (Option.value f.Unwind.func ~default:"<unknown>"))
+          frames
+      | Error e -> Printf.printf "  backtrace failed at %d: %s\n" e.Unwind.depth e.Unwind.reason);
+      if forge then begin
+        (* the adversary replaces the chain value saved in the jmp_buf *)
+        let slot = Int64.add jb 72L in
+        let stale = Option.get (Adversary.read m slot) in
+        ignore (Adversary.write m slot (Int64.logxor stale 0x0badL))
+      end);
+  match Machine.run ~fuel:1_000_000 machine with
+  | Machine.Halted 0 ->
+    Printf.printf "  longjmp delivered: output = %s\n"
+      (String.concat ", " (List.map Int64.to_string (Machine.output machine)))
+  | Machine.Halted c -> Printf.printf "  exited %d\n" c
+  | Machine.Faulted f ->
+    Printf.printf "  faulted: %s  (the forged jmp_buf was rejected)\n"
+      (Pacstack_machine.Trap.to_string f)
+  | Machine.Out_of_fuel -> print_endline "  out of fuel"
+
+let () =
+  Printf.printf "Benign longjmp across %d PACStack frames:\n" depth;
+  run ~forge:false;
+  Printf.printf "\nSame longjmp after the adversary tampers with the jmp_buf chain value:\n";
+  run ~forge:true

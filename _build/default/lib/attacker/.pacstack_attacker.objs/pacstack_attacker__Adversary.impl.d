@@ -1,0 +1,1 @@
+lib/attacker/adversary.ml: Format Int64 List Pacstack_isa Pacstack_machine Pacstack_minic Pacstack_util Pacstack_workloads

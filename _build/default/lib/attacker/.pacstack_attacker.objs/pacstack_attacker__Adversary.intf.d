@@ -1,0 +1,1 @@
+lib/attacker/adversary.mli: Format Pacstack_harden Pacstack_machine Pacstack_minic Pacstack_util

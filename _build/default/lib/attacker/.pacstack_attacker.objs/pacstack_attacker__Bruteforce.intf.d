@@ -1,0 +1,1 @@
+lib/attacker/bruteforce.mli:

@@ -1,0 +1,1 @@
+lib/attacker/forward_cfi.mli: Adversary

@@ -1,0 +1,1 @@
+lib/attacker/gadget.mli: Adversary Pacstack_pa Pacstack_qarma Pacstack_util

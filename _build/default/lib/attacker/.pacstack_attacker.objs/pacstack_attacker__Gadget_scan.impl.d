@@ -1,0 +1,1 @@
+lib/attacker/gadget_scan.ml: Format List Pacstack_harden Pacstack_isa Pacstack_minic

@@ -1,0 +1,1 @@
+lib/attacker/gadget_scan.mli: Format Pacstack_harden Pacstack_isa Pacstack_minic

@@ -1,0 +1,1 @@
+lib/attacker/reuse.ml: Adversary Int64 List Option Pacstack_harden Pacstack_machine Pacstack_minic Pacstack_util Pacstack_workloads

@@ -1,0 +1,1 @@
+lib/attacker/reuse.mli: Adversary Pacstack_harden

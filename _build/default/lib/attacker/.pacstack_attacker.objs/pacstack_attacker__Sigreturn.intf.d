@@ -1,0 +1,1 @@
+lib/attacker/sigreturn.mli: Adversary Pacstack_machine

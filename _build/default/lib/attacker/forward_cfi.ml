@@ -1,0 +1,68 @@
+module Machine = Pacstack_machine.Machine
+module Image = Pacstack_machine.Image
+module Scheme = Pacstack_harden.Scheme
+module Ast = Pacstack_minic.Ast
+module B = Pacstack_minic.Build
+module Compile = Pacstack_minic.Compile
+module Scenarios = Pacstack_workloads.Scenarios
+
+type target = Entry_of_evil | Mid_function
+
+(* A dispatch-table victim: main repeatedly calls through a function
+   pointer stored in writable memory; the hook fires between loads. *)
+let victim =
+  Ast.program
+    ~globals:[ ("table", 8) ]
+    [
+      (Ast.fdef "evil" ~locals:[ Ast.Scalar "z" ]
+         B.[
+           print (i64 Scenarios.evil_marker);
+           set "z" (i 1);
+           while_ (v "z" == i 1) [];
+           ret (i 0);
+         ]);
+      Ast.fdef "step" ~params:[ "x" ] B.[ ret (v "x" + i 3) ];
+      Ast.fdef "main"
+        ~locals:[ Ast.Scalar "k"; Ast.Scalar "acc"; Ast.Scalar "f" ]
+        B.[
+          store (glob "table") (fn "step");
+          set "acc" (i 0);
+          for_ "k" ~from:(i 0) ~below:(i 4)
+            [
+              Ast.Hook "fptr";
+              set "f" (load (glob "table"));
+              set "acc" (Ast.Call_ptr (v "f", [ v "acc" ]));
+            ];
+          print (v "acc");
+          ret (i 0);
+        ];
+    ]
+
+let attack ~cfi target =
+  let scheme = Scheme.pacstack in
+  let expected = Adversary.benign_output scheme victim in
+  let program = Compile.compile ~scheme victim in
+  let m = Machine.load program in
+  Machine.set_forward_cfi m cfi;
+  let fired = ref false in
+  Machine.attach_hook m "fptr" (fun m ->
+      if not !fired then begin
+        fired := true;
+        let table = Option.get (Adversary.symbol m "table") in
+        let addr =
+          match target with
+          | Entry_of_evil -> Option.get (Adversary.symbol m "evil")
+          | Mid_function ->
+            (* a few instructions into main's body *)
+            Int64.add (Option.get (Adversary.symbol m "main")) 12L
+        in
+        ignore (Adversary.write m table addr)
+      end);
+  let outcome = Machine.run ~fuel:300_000 m in
+  Adversary.classify ~expected m outcome
+
+let summary () =
+  List.concat_map
+    (fun cfi ->
+      List.map (fun t -> ((cfi, t), attack ~cfi t)) [ Entry_of_evil; Mid_function ])
+    [ true; false ]

@@ -1,0 +1,25 @@
+(** Forward-edge attacks against the coarse-grained CFI of assumption A2.
+
+    The paper assumes indirect calls can only reach function entries; this
+    module exercises both sides of that assumption on a dispatch-table
+    victim:
+
+    - corrupting a function pointer to a {e mid-function} address is
+      rejected by the CFI check (and is what makes the PACStack
+      instrumentation atomic, §6.3);
+    - corrupting it to a {e different function's entry} is allowed by
+      coarse-grained CFI — which is precisely why backward-edge protection
+      such as PACStack is still needed;
+    - with the CFI disabled, mid-function targets execute. *)
+
+type target =
+  | Entry_of_evil  (** a legitimate function entry the victim never calls *)
+  | Mid_function  (** an address inside a function body *)
+
+val attack : cfi:bool -> target -> Adversary.outcome
+(** Runs the dispatch victim under PACStack with assumption A2 enforced
+    ([cfi = true]) or dropped, the adversary rewriting the dispatch
+    table. *)
+
+val summary : unit -> ((bool * target) * Adversary.outcome) list
+(** All four combinations. *)

@@ -1,0 +1,50 @@
+module Word64 = Pacstack_util.Word64
+module Config = Pacstack_pa.Config
+module Pac = Pacstack_pa.Pac
+module Pointer = Pacstack_pa.Pointer
+module Machine = Pacstack_machine.Machine
+module Scheme = Pacstack_harden.Scheme
+module Compile = Pacstack_minic.Compile
+module Scenarios = Pacstack_workloads.Scenarios
+
+let forge_with_gadget cfg prf ~target ~modifier =
+  (* Listing 7: inject the bare target, let the victim authenticate it
+     (fails, setting the error bit), let the victim re-sign it (PAC
+     computed over the stripped address, bit p flipped because the input
+     was invalid), then flip bit p back. *)
+  let injected = target in
+  let after_aut =
+    match Pac.auth cfg prf injected ~modifier with
+    | Pac.Valid p -> p  (* a zero-PAC pointer might validate by luck *)
+    | Pac.Invalid p -> p
+  in
+  let after_pac = Pac.add cfg prf after_aut ~modifier in
+  (* bit p is PAC bit 0 in our PA semantics *)
+  let p_bit = Config.pac_lo cfg in
+  Word64.flip_bit after_pac p_bit
+
+let gadget_forges_valid_pointer cfg prf ~target ~modifier =
+  let forged = forge_with_gadget cfg prf ~target ~modifier in
+  match Pac.auth cfg prf forged ~modifier with
+  | Pac.Valid p -> Word64.equal p (Pointer.address cfg target)
+  | Pac.Invalid _ -> false
+
+let tail_call_attack ~masked =
+  let scheme = Scheme.Pacstack { masked } in
+  let victim = Scenarios.tail_call_victim in
+  let expected = Adversary.benign_output scheme victim in
+  let program = Compile.compile ~scheme victim in
+  let m = Machine.load program in
+  Machine.attach_hook m Scenarios.overwrite_hook (fun m ->
+      match Adversary.symbol m "evil" with
+      | None -> ()
+      | Some evil ->
+        (* the adversary's best forgery: the gadget output for the stored
+           chain value's slot — but it cannot flip bit p of the value in
+           CR, so it can only plant the forgery in memory *)
+        let cfg = Machine.config m in
+        let ia = Pacstack_pa.Keys.get (Machine.keys m) Pacstack_pa.Keys.IA in
+        let forged = forge_with_gadget cfg ia ~target:evil ~modifier:0L in
+        ignore (Adversary.write m (Adversary.chain_slot m) forged));
+  let outcome = Machine.run ~fuel:300_000 m in
+  Adversary.classify ~expected m outcome

@@ -1,0 +1,81 @@
+module Instr = Pacstack_isa.Instr
+module Reg = Pacstack_isa.Reg
+module Program = Pacstack_isa.Program
+module Scheme = Pacstack_harden.Scheme
+
+type classification = Usable | Pa_guarded | Shadowed | Register_resident
+
+type report = {
+  total_returns : int;
+  usable : int;
+  pa_guarded : int;
+  shadowed : int;
+  register_resident : int;
+}
+
+let classification_to_string = function
+  | Usable -> "usable"
+  | Pa_guarded -> "PA-guarded"
+  | Shadowed -> "shadowed"
+  | Register_resident -> "register-resident"
+
+(* Classify one return by the instructions leading to it (labels are
+   transparent: any path reaching the return passes the same suffix in our
+   single-epilogue code shape). *)
+let classify_return ~window ret_reg =
+  let rec scan = function
+    | [] ->
+      (* the return register was never reloaded from memory: a leaf whose
+         LR stays in the register file cannot be corrupted by a memory
+         adversary *)
+      Register_resident
+    | Instr.Autia (rd, _) :: _ when Reg.equal rd ret_reg -> Pa_guarded
+    | Instr.Autiasp :: _ when Reg.equal ret_reg Reg.lr -> Pa_guarded
+    | Instr.Ldr (rd, { Instr.base; _ }) :: _ when Reg.equal rd ret_reg && Reg.equal base Reg.shadow
+      -> Shadowed
+    (* an unguarded reload from regular memory: classic ROP material *)
+    | Instr.Ldr (rd, _) :: _ when Reg.equal rd ret_reg -> Usable
+    | Instr.Ldp (r1, r2, _) :: _ when Reg.equal r1 ret_reg || Reg.equal r2 ret_reg -> Usable
+    | _ :: rest -> scan rest
+  in
+  scan window
+
+let scan (p : Program.t) =
+  let total = ref 0 and usable = ref 0 and guarded = ref 0 and shadowed = ref 0 in
+  let resident = ref 0 in
+  List.iter
+    (fun f ->
+      let instrs = Program.instructions f in
+      (* walk with the reversed prefix as the lookback window *)
+      let rec go prefix = function
+        | [] -> ()
+        | i :: rest ->
+          (match i with
+          | Instr.Retaa ->
+            incr total;
+            incr guarded
+          | Instr.Ret r -> (
+            incr total;
+            match classify_return ~window:prefix r with
+            | Usable -> incr usable
+            | Pa_guarded -> incr guarded
+            | Shadowed -> incr shadowed
+            | Register_resident -> incr resident)
+          | _ -> ());
+          go (i :: prefix) rest
+      in
+      go [] instrs)
+    p.funcs;
+  {
+    total_returns = !total;
+    usable = !usable;
+    pa_guarded = !guarded;
+    shadowed = !shadowed;
+    register_resident = !resident;
+  }
+
+let scan_scheme scheme program = scan (Pacstack_minic.Compile.compile ~scheme program)
+
+let pp fmt r =
+  Format.fprintf fmt "%d returns: %d usable, %d PA-guarded, %d shadowed, %d register-resident"
+    r.total_returns r.usable r.pa_guarded r.shadowed r.register_resident

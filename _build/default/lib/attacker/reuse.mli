@@ -1,0 +1,36 @@
+(** The §6.1 return-address attacks on the Listing 6 victim, run against
+    every hardening scheme.
+
+    Three adversary strategies:
+    - {!Arbitrary_redirect}: overwrite every return-address-bearing slot
+      the scheme keeps in attackable memory (stack slot, shadow-stack
+      entry, PACStack chain slot) with the address of [evil].
+    - {!Sibling_reuse}: the PAC-reuse attack — harvest the protected
+      return value stored by sibling call [a] and substitute it into
+      [b]'s frame; both were produced under the same SP modifier, so
+      SP-modifier schemes accept it.
+    - {!Linear_overflow}: a contiguous buffer overflow sled from [b]'s
+      buffer up through the frame record (what stack canaries detect).
+
+    Expected outcomes (asserted by tests, printed by the bench harness):
+    the unprotected baseline is hijacked by all three; canaries stop only
+    the linear overflow; [-mbranch-protection] stops arbitrary redirects
+    but is {e bent} by sibling reuse; the software shadow stack falls to
+    an adversary who knows its location; PACStack detects or ignores all
+    of them. *)
+
+type strategy = Arbitrary_redirect | Sibling_reuse | Linear_overflow
+
+val strategy_to_string : strategy -> string
+val all_strategies : strategy list
+
+val attack :
+  scheme:Pacstack_harden.Scheme.t ->
+  ?overrides:(string * Pacstack_harden.Scheme.t) list ->
+  strategy -> Adversary.outcome
+(** Runs the victim with the adversary attached and classifies the run.
+    [overrides] assigns individual victim functions a different scheme —
+    the §9.2 mixed instrumented/uninstrumented deployment study. *)
+
+val matrix : unit -> (strategy * (Pacstack_harden.Scheme.t * Adversary.outcome) list) list
+(** The full strategy × scheme outcome table. *)

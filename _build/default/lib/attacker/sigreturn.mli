@@ -1,0 +1,21 @@
+(** The §6.3.2 sigreturn attack and the Appendix B defence.
+
+    The adversary fabricates a complete signal frame (every register,
+    including PC and CR) on the stack and triggers an unwarranted
+    [sigreturn] — modelling a victim binary that issues raw [svc]
+    instructions, which is the case the paper identifies as unprotected by
+    ASLR-only mitigations. With the Appendix B [asigret] chain the kernel
+    refuses frames it never produced. *)
+
+val attack :
+  policy:Pacstack_machine.Kernel.signal_policy ->
+  ?deliver_real_signal:bool ->
+  unit -> Adversary.outcome
+(** Runs the sigreturn victim under PACStack. [deliver_real_signal]
+    (default true) lets a benign signal round-trip first, proving the
+    defence does not break legitimate signals. Expected:
+    [Sig_unprotected] → [Hijacked]; [Sig_chained] → [Detected]. *)
+
+val benign_roundtrip : policy:Pacstack_machine.Kernel.signal_policy -> bool
+(** No adversary: deliver a signal, let the handler run and sigreturn,
+    check the program completes with the right output (compatibility). *)

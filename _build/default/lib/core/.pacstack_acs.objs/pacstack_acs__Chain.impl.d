@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Int64 List Pacstack_pa Pacstack_qarma Pacstack_util

@@ -1,0 +1,1 @@
+lib/core/chain.mli: Pacstack_pa Pacstack_qarma Pacstack_util

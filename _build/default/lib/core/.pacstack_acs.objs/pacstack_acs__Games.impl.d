@@ -1,0 +1,1 @@
+lib/core/games.ml: Analysis Array Float Format Hashtbl Int64 Pacstack_qarma Pacstack_util

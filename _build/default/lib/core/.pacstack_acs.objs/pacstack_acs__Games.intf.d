@@ -1,0 +1,1 @@
+lib/core/games.mli: Analysis Format Pacstack_util

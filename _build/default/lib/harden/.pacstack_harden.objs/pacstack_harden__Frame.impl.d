@@ -1,0 +1,1 @@
+lib/harden/frame.ml: Int64 Pacstack_isa Scheme

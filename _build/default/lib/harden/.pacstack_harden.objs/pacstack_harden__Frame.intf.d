@@ -1,0 +1,1 @@
+lib/harden/frame.mli: Pacstack_isa Scheme

@@ -1,0 +1,1 @@
+lib/harden/runtime.ml: Frame Int64 List Pacstack_isa Scheme

@@ -1,0 +1,1 @@
+lib/harden/runtime.mli: Pacstack_isa Scheme

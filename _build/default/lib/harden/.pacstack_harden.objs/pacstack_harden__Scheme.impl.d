@@ -1,0 +1,1 @@
+lib/harden/scheme.ml: Format String

@@ -1,0 +1,1 @@
+lib/harden/scheme.mli: Format

@@ -1,0 +1,40 @@
+(** Per-scheme function prologue/epilogue generation.
+
+    This is the moral equivalent of the paper's modified LLVM
+    [AArch64FrameLowering]: given a function's traits it emits exactly the
+    instruction sequences of Listings 1–3 (plus the canary and shadow-stack
+    conventions) around the compiled body.
+
+    Layout contract with the compiler:
+    - the body runs with SP at the bottom of a [locals_bytes] region,
+    - FP points at the frame record, so [\[fp\] = caller FP] and
+      [\[fp+8\] = return address]; PACStack stores [aret_{i-1}] at
+      [\[fp-16\]] (consumed by {!Pacstack_machine.Unwind}),
+    - the body ends by falling into the epilogue,
+    - leaf functions (no calls) never spill LR and are skipped by the
+      LR-protecting schemes, mirroring the paper's §7.1 heuristic. *)
+
+type traits = {
+  is_leaf : bool;      (** makes no calls *)
+  has_arrays : bool;   (** holds addressable buffers (canary heuristic) *)
+  locals_bytes : int;  (** 16-byte aligned size of the locals region *)
+}
+
+val traits : ?is_leaf:bool -> ?has_arrays:bool -> ?locals_bytes:int -> unit -> traits
+
+val protects_return : Scheme.t -> traits -> bool
+(** Whether the scheme instruments this function's return path. *)
+
+val canary_slot : traits -> int
+(** SP-relative offset of the canary slot when {!Scheme.Stack_protector}
+    instruments the function. *)
+
+val frame_overhead_bytes : Scheme.t -> traits -> int
+(** Extra stack bytes versus the unprotected frame. *)
+
+val prologue : Scheme.t -> traits -> Pacstack_isa.Instr.t list
+val epilogue : Scheme.t -> traits -> Pacstack_isa.Instr.t list
+(** The epilogue ends in the returning instruction. *)
+
+val stack_chk_fail_symbol : string
+val canary_failure_exit_code : int

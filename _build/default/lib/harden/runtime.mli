@@ -1,0 +1,22 @@
+(** Runtime-support functions linked into every hardened program: the
+    canary failure handler, a minimal [setjmp]/[longjmp], and the PACStack
+    wrappers of Listings 4–5 that bind [jmp_buf] contents to the ACS.
+
+    [jmp_buf] layout (byte offsets into the buffer):
+    x19..x28 at 0..72, FP 80, LR 88, SP 96 — 128 bytes reserved. *)
+
+val jmp_buf_bytes : int
+
+val setjmp_symbol : string
+val longjmp_symbol : string
+val pacstack_setjmp_symbol : string
+val pacstack_longjmp_symbol : string
+
+val setjmp_entry : Scheme.t -> string
+(** Which symbol a [setjmp] call site should target under a scheme. *)
+
+val longjmp_entry : Scheme.t -> string
+
+val functions : Pacstack_isa.Program.func list
+(** All runtime functions; linked unconditionally (unused ones cost only
+    code bytes). *)

@@ -1,0 +1,45 @@
+type t =
+  | Unprotected
+  | Stack_protector
+  | Branch_protection
+  | Shadow_stack
+  | Pacstack of { masked : bool }
+
+let pacstack = Pacstack { masked = true }
+let pacstack_nomask = Pacstack { masked = false }
+
+let all =
+  [ Unprotected; Stack_protector; Branch_protection; Shadow_stack; pacstack_nomask; pacstack ]
+
+let to_string = function
+  | Unprotected -> "baseline"
+  | Stack_protector -> "stack-protector-strong"
+  | Branch_protection -> "branch-protection"
+  | Shadow_stack -> "shadow-call-stack"
+  | Pacstack { masked = true } -> "pacstack"
+  | Pacstack { masked = false } -> "pacstack-nomask"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "baseline" | "none" | "unprotected" -> Some Unprotected
+  | "stack-protector-strong" | "canary" -> Some Stack_protector
+  | "branch-protection" | "mbranch-protection" -> Some Branch_protection
+  | "shadow-call-stack" | "shadowcallstack" | "scs" -> Some Shadow_stack
+  | "pacstack" -> Some pacstack
+  | "pacstack-nomask" -> Some pacstack_nomask
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal a b =
+  match a, b with
+  | Unprotected, Unprotected
+  | Stack_protector, Stack_protector
+  | Branch_protection, Branch_protection
+  | Shadow_stack, Shadow_stack -> true
+  | Pacstack { masked = m1 }, Pacstack { masked = m2 } -> m1 = m2
+  | (Unprotected | Stack_protector | Branch_protection | Shadow_stack | Pacstack _), _ -> false
+
+let uses_chain_register = function
+  | Pacstack _ -> true
+  | Unprotected | Stack_protector | Branch_protection | Shadow_stack -> false

@@ -1,0 +1,22 @@
+(** The return-address protection schemes the paper evaluates (§7). *)
+
+type t =
+  | Unprotected
+  | Stack_protector  (** [-mstack-protector-strong]: canaries, buffer-holding functions only *)
+  | Branch_protection  (** [-mbranch-protection]: [paciasp]/[retaa], SP modifier *)
+  | Shadow_stack  (** Clang ShadowCallStack, X18-based *)
+  | Pacstack of { masked : bool }  (** the paper's contribution, Listings 2–3 *)
+
+val all : t list
+(** In the order the paper's tables list them. *)
+
+val pacstack : t
+val pacstack_nomask : t
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val uses_chain_register : t -> bool
+(** True for the PACStack variants: X28 is reserved (§5.1). *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Cond Format Instr Int64 List Printf Program Reg String

@@ -1,0 +1,1 @@
+lib/isa/cond.mli: Format Pacstack_util

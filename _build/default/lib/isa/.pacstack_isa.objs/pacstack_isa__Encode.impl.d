@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Cond Hashtbl Instr Int32 Int64 List Printf Reg String

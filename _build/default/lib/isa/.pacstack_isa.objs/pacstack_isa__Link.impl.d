@@ -1,0 +1,1 @@
+lib/isa/link.ml: Hashtbl List Objfile Printf Program String

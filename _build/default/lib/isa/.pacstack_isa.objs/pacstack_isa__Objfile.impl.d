@@ -1,0 +1,1 @@
+lib/isa/objfile.ml: Array Buffer Char Encode Hashtbl In_channel Instr Int32 Int64 List Out_channel Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/objfile.mli: Program

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Format Hashtbl Instr List Printf

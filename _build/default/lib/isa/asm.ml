@@ -1,0 +1,211 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* Tokens of an instruction line: words, immediates, and the punctuation
+   that matters for addressing modes. *)
+type token = Word of string | Imm of int64 | LBracket | RBracket | Bang
+
+let tokenize line s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '$'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = ',' then incr i
+    else if c = '[' then (toks := LBracket :: !toks; incr i)
+    else if c = ']' then (toks := RBracket :: !toks; incr i)
+    else if c = '!' then (toks := Bang :: !toks; incr i)
+    else if c = '#' then begin
+      incr i;
+      let start = !i in
+      if !i < n && (s.[!i] = '-' || s.[!i] = '+') then incr i;
+      while !i < n && (is_word_char s.[!i]) do incr i done;
+      let lit = String.sub s start (!i - start) in
+      match Int64.of_string_opt lit with
+      | Some v -> toks := Imm v :: !toks
+      | None -> fail line (Printf.sprintf "bad immediate %S" lit)
+    end
+    else if is_word_char c || c = '-' then begin
+      let start = !i in
+      incr i;
+      while !i < n && is_word_char s.[!i] do incr i done;
+      toks := Word (String.sub s start (!i - start)) :: !toks
+    end
+    else fail line (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !toks
+
+let reg line = function
+  | Word w -> (
+    match Reg.of_string w with
+    | Some r -> r
+    | None -> fail line (Printf.sprintf "expected register, got %S" w))
+  | Imm _ | LBracket | RBracket | Bang -> fail line "expected register"
+
+let operand line = function
+  | Imm v -> Instr.Imm v
+  | (Word _ | LBracket | RBracket | Bang) as t -> Instr.Reg (reg line t)
+
+let label line = function
+  | Word w -> w
+  | Imm _ | LBracket | RBracket | Bang -> fail line "expected label"
+
+(* Memory operands: [base] / [base, #off] / [base, #off]! / [base], #off *)
+let mem line toks =
+  match toks with
+  | LBracket :: b :: RBracket :: rest -> (
+    let base = reg line b in
+    match rest with
+    | [] -> { Instr.base; offset = 0; index = Offset }
+    | [ Imm off ] -> { Instr.base; offset = Int64.to_int off; index = Post }
+    | _ -> fail line "bad addressing mode")
+  | LBracket :: b :: Imm off :: RBracket :: rest -> (
+    let base = reg line b in
+    let offset = Int64.to_int off in
+    match rest with
+    | [] -> { Instr.base; offset; index = Offset }
+    | [ Bang ] -> { Instr.base; offset; index = Pre }
+    | _ -> fail line "bad addressing mode")
+  | _ -> fail line "expected memory operand"
+
+let parse_instr_tokens line toks =
+  let open Instr in
+  let rrr_op ctor rest =
+    match rest with
+    | [ a; b; c ] -> ctor (reg line a) (reg line b) (operand line c)
+    | _ -> fail line "expected rd, rn, operand"
+  in
+  let rrr ctor rest =
+    match rest with
+    | [ a; b; c ] -> ctor (reg line a) (reg line b) (reg line c)
+    | _ -> fail line "expected rd, rn, rm"
+  in
+  let ld_st ctor rest =
+    match rest with
+    | rt :: m -> ctor (reg line rt) (mem line m)
+    | [] -> fail line "expected rt, mem"
+  in
+  let ld_st_pair ctor rest =
+    match rest with
+    | r1 :: r2 :: m -> ctor (reg line r1) (reg line r2) (mem line m)
+    | _ -> fail line "expected r1, r2, mem"
+  in
+  match toks with
+  | [] -> fail line "empty instruction"
+  | Word w :: rest -> (
+    match String.lowercase_ascii w, rest with
+    | "add", _ -> rrr_op (fun a b c -> Add (a, b, c)) rest
+    | "sub", _ -> rrr_op (fun a b c -> Sub (a, b, c)) rest
+    | "mul", _ -> rrr (fun a b c -> Mul (a, b, c)) rest
+    | "udiv", _ -> rrr (fun a b c -> Udiv (a, b, c)) rest
+    | "and", _ -> rrr_op (fun a b c -> And_ (a, b, c)) rest
+    | "orr", _ -> rrr_op (fun a b c -> Orr (a, b, c)) rest
+    | "eor", _ -> rrr_op (fun a b c -> Eor (a, b, c)) rest
+    | "lsl", _ -> rrr_op (fun a b c -> Lsl_ (a, b, c)) rest
+    | "lsr", _ -> rrr_op (fun a b c -> Lsr_ (a, b, c)) rest
+    | "mov", [ a; b ] -> Mov (reg line a, operand line b)
+    | "cmp", [ a; b ] -> Cmp (reg line a, operand line b)
+    | "adr", [ a; l ] -> Adr (reg line a, label line l)
+    | "ldr", _ -> ld_st (fun r m -> Ldr (r, m)) rest
+    | "str", _ -> ld_st (fun r m -> Str (r, m)) rest
+    | "ldrb", _ -> ld_st (fun r m -> Ldrb (r, m)) rest
+    | "strb", _ -> ld_st (fun r m -> Strb (r, m)) rest
+    | "ldp", _ -> ld_st_pair (fun a b m -> Ldp (a, b, m)) rest
+    | "stp", _ -> ld_st_pair (fun a b m -> Stp (a, b, m)) rest
+    | "b", [ l ] -> B (label line l)
+    | "cbz", [ r; l ] -> Cbz (reg line r, label line l)
+    | "cbnz", [ r; l ] -> Cbnz (reg line r, label line l)
+    | "bl", [ l ] -> Bl (label line l)
+    | "blr", [ r ] -> Blr (reg line r)
+    | "br", [ r ] -> Br (reg line r)
+    | "ret", [] -> Ret Reg.lr
+    | "ret", [ r ] -> Ret (reg line r)
+    | "retaa", [] -> Retaa
+    | "pacia", [ a; b ] -> Pacia (reg line a, reg line b)
+    | "autia", [ a; b ] -> Autia (reg line a, reg line b)
+    | "paciasp", [] -> Paciasp
+    | "autiasp", [] -> Autiasp
+    | "xpaci", [ r ] -> Xpaci (reg line r)
+    | "pacga", _ -> rrr (fun a b c -> Pacga (a, b, c)) rest
+    | "svc", [ Imm n ] -> Svc (Int64.to_int n)
+    | "nop", [] -> Nop
+    | "hlt", [] -> Hlt
+    | "hook", [ l ] -> Hook (label line l)
+    | m, _ when String.length m > 2 && String.sub m 0 2 = "b." -> (
+      let c = String.sub m 2 (String.length m - 2) in
+      match Cond.of_string c, rest with
+      | Some c, [ l ] -> Bcond (c, label line l)
+      | Some _, _ -> fail line "b.cond expects one label"
+      | None, _ -> fail line (Printf.sprintf "unknown condition %S" c))
+    | m, _ -> fail line (Printf.sprintf "unknown mnemonic %S" m))
+  | (Imm _ | LBracket | RBracket | Bang) :: _ -> fail line "expected mnemonic"
+
+let strip_comment s =
+  let cut i = String.sub s 0 i in
+  let s = match String.index_opt s ';' with Some i -> cut i | None -> s in
+  match String.length s, String.index_opt s '/' with
+  | n, Some i when i + 1 < n && s.[i + 1] = '/' -> String.sub s 0 i
+  | _ -> s
+
+let parse_instr s =
+  parse_instr_tokens 1 (tokenize 1 (strip_comment s))
+
+type pstate = {
+  mutable data : Program.data list;
+  mutable entry : string option;
+  mutable funcs : Program.func list;
+  mutable current : (string * Program.item list) option;
+}
+
+let parse text =
+  let st = { data = []; entry = None; funcs = []; current = None } in
+  let finish_func line =
+    match st.current with
+    | None -> fail line ".endfunc without .func"
+    | Some (name, items) ->
+      st.funcs <- { Program.name; body = List.rev items } :: st.funcs;
+      st.current <- None
+  in
+  let handle_line lineno raw =
+    let s = String.trim (strip_comment raw) in
+    if s = "" then ()
+    else if String.length s > 0 && s.[0] = '.' then begin
+      match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+      | [ ".data"; name; size ] -> (
+        match int_of_string_opt size with
+        | Some size -> st.data <- { Program.dname = name; size } :: st.data
+        | None -> fail lineno "bad .data size")
+      | [ ".entry"; name ] -> st.entry <- Some name
+      | [ ".func"; name ] ->
+        if st.current <> None then fail lineno "nested .func";
+        st.current <- Some (name, [])
+      | [ ".endfunc" ] -> finish_func lineno
+      | _ -> fail lineno (Printf.sprintf "unknown directive %S" s)
+    end
+    else if s.[String.length s - 1] = ':' then begin
+      let l = String.sub s 0 (String.length s - 1) in
+      match st.current with
+      | None -> fail lineno "label outside .func"
+      | Some (name, items) -> st.current <- Some (name, Program.Lbl l :: items)
+    end
+    else begin
+      let i = parse_instr_tokens lineno (tokenize lineno s) in
+      match st.current with
+      | None -> fail lineno "instruction outside .func"
+      | Some (name, items) -> st.current <- Some (name, Program.Ins i :: items)
+    end
+  in
+  List.iteri (fun i l -> handle_line (i + 1) l) (String.split_on_char '\n' text);
+  if st.current <> None then fail 0 "missing .endfunc";
+  match st.entry with
+  | None -> fail 0 "missing .entry"
+  | Some entry -> (
+    try Program.make ~data:(List.rev st.data) ~entry (List.rev st.funcs)
+    with Invalid_argument m -> fail 0 m)
+
+let print p = Format.asprintf "%a" Program.pp p

@@ -1,0 +1,16 @@
+(** Textual assembler for the simulated ISA.
+
+    The concrete syntax is exactly what {!Program.pp} prints, so
+    [parse (Format.asprintf "%a" Program.pp p)] round-trips any valid
+    program. Comments start with [;] or [//]; labels end with [:];
+    directives are [.data name size], [.entry name], [.func name] and
+    [.endfunc]. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Program.t
+val parse_instr : string -> Instr.t
+(** Parses a single instruction line; raises {!Parse_error} with line 1. *)
+
+val print : Program.t -> string

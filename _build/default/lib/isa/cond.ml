@@ -1,0 +1,61 @@
+type t = EQ | NE | LT | LE | GT | GE | HS | LO
+
+let negate = function
+  | EQ -> NE
+  | NE -> EQ
+  | LT -> GE
+  | GE -> LT
+  | LE -> GT
+  | GT -> LE
+  | HS -> LO
+  | LO -> HS
+
+let to_string = function
+  | EQ -> "eq"
+  | NE -> "ne"
+  | LT -> "lt"
+  | LE -> "le"
+  | GT -> "gt"
+  | GE -> "ge"
+  | HS -> "hs"
+  | LO -> "lo"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "eq" -> Some EQ
+  | "ne" -> Some NE
+  | "lt" -> Some LT
+  | "le" -> Some LE
+  | "gt" -> Some GT
+  | "ge" -> Some GE
+  | "hs" -> Some HS
+  | "lo" -> Some LO
+  | _ -> None
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+type flags = { n : bool; z : bool; c : bool; v : bool }
+
+let flags_zero = { n = false; z = false; c = false; v = false }
+
+let of_compare a b =
+  let diff = Int64.sub a b in
+  let n = diff < 0L in
+  let z = diff = 0L in
+  (* carry = no unsigned borrow *)
+  let c = Int64.unsigned_compare a b >= 0 in
+  (* signed overflow: operands of differing sign and result sign differs
+     from the first operand *)
+  let v = (a < 0L) <> (b < 0L) && (diff < 0L) <> (a < 0L) in
+  { n; z; c; v }
+
+let holds cond f =
+  match cond with
+  | EQ -> f.z
+  | NE -> not f.z
+  | LT -> f.n <> f.v
+  | GE -> f.n = f.v
+  | GT -> (not f.z) && f.n = f.v
+  | LE -> f.z || f.n <> f.v
+  | HS -> f.c
+  | LO -> not f.c

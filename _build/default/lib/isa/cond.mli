@@ -1,0 +1,16 @@
+(** Branch condition codes (signed comparisons over the NZCV flags). *)
+
+type t = EQ | NE | LT | LE | GT | GE | HS | LO
+
+val negate : t -> t
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+type flags = { n : bool; z : bool; c : bool; v : bool }
+
+val flags_zero : flags
+val of_compare : Pacstack_util.Word64.t -> Pacstack_util.Word64.t -> flags
+(** Flags produced by [cmp a, b] (i.e. [a - b]). *)
+
+val holds : t -> flags -> bool

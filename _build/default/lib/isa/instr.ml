@@ -1,0 +1,128 @@
+type operand = Reg of Reg.t | Imm of int64
+
+type index_mode = Offset | Pre | Post
+
+type mem = { base : Reg.t; offset : int; index : index_mode }
+
+type label = string
+
+type t =
+  | Add of Reg.t * Reg.t * operand
+  | Sub of Reg.t * Reg.t * operand
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Udiv of Reg.t * Reg.t * Reg.t
+  | And_ of Reg.t * Reg.t * operand
+  | Orr of Reg.t * Reg.t * operand
+  | Eor of Reg.t * Reg.t * operand
+  | Lsl_ of Reg.t * Reg.t * operand
+  | Lsr_ of Reg.t * Reg.t * operand
+  | Mov of Reg.t * operand
+  | Cmp of Reg.t * operand
+  | Adr of Reg.t * label
+  | Ldr of Reg.t * mem
+  | Str of Reg.t * mem
+  | Ldrb of Reg.t * mem
+  | Strb of Reg.t * mem
+  | Ldp of Reg.t * Reg.t * mem
+  | Stp of Reg.t * Reg.t * mem
+  | B of label
+  | Bcond of Cond.t * label
+  | Cbz of Reg.t * label
+  | Cbnz of Reg.t * label
+  | Bl of label
+  | Blr of Reg.t
+  | Br of Reg.t
+  | Ret of Reg.t
+  | Retaa
+  | Pacia of Reg.t * Reg.t
+  | Autia of Reg.t * Reg.t
+  | Paciasp
+  | Autiasp
+  | Xpaci of Reg.t
+  | Pacga of Reg.t * Reg.t * Reg.t
+  | Svc of int
+  | Nop
+  | Hlt
+  | Hook of string
+
+let cycles = function
+  | Add _ | Sub _ | And_ _ | Orr _ | Eor _ | Lsl_ _ | Lsr_ _ | Mov _ | Cmp _ | Adr _ -> 1
+  | Mul _ -> 3
+  | Udiv _ -> 12
+  | Ldr _ | Str _ | Ldrb _ | Strb _ -> 4
+  | Ldp _ | Stp _ -> 5
+  | B _ | Bcond _ | Cbz _ | Cbnz _ -> 1
+  | Bl _ | Blr _ | Br _ | Ret _ -> 2
+  | Retaa -> 5
+  | Pacia _ | Autia _ | Paciasp | Autiasp | Xpaci _ | Pacga _ -> 3
+  | Svc _ -> 100
+  | Nop -> 1
+  | Hlt -> 1
+  | Hook _ -> 0
+
+let reads_label = function
+  | Adr (_, l) | B l | Bcond (_, l) | Cbz (_, l) | Cbnz (_, l) | Bl l -> Some l
+  | Add _ | Sub _ | Mul _ | Udiv _ | And_ _ | Orr _ | Eor _ | Lsl_ _ | Lsr_ _
+  | Mov _ | Cmp _ | Ldr _ | Str _ | Ldrb _ | Strb _ | Ldp _ | Stp _
+  | Blr _ | Br _ | Ret _ | Retaa | Pacia _ | Autia _ | Paciasp | Autiasp
+  | Xpaci _ | Pacga _ | Svc _ | Nop | Hlt | Hook _ -> None
+
+let pp_operand fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm i -> Format.fprintf fmt "#%Ld" i
+
+let pp_mem fmt { base; offset; index } =
+  match index with
+  | Offset ->
+    if offset = 0 then Format.fprintf fmt "[%a]" Reg.pp base
+    else Format.fprintf fmt "[%a, #%d]" Reg.pp base offset
+  | Pre -> Format.fprintf fmt "[%a, #%d]!" Reg.pp base offset
+  | Post -> Format.fprintf fmt "[%a], #%d" Reg.pp base offset
+
+let pp fmt instr =
+  let rrr_op name rd rn op =
+    Format.fprintf fmt "%s %a, %a, %a" name Reg.pp rd Reg.pp rn pp_operand op
+  in
+  let rrr name rd rn rm =
+    Format.fprintf fmt "%s %a, %a, %a" name Reg.pp rd Reg.pp rn Reg.pp rm
+  in
+  match instr with
+  | Add (rd, rn, op) -> rrr_op "add" rd rn op
+  | Sub (rd, rn, op) -> rrr_op "sub" rd rn op
+  | Mul (rd, rn, rm) -> rrr "mul" rd rn rm
+  | Udiv (rd, rn, rm) -> rrr "udiv" rd rn rm
+  | And_ (rd, rn, op) -> rrr_op "and" rd rn op
+  | Orr (rd, rn, op) -> rrr_op "orr" rd rn op
+  | Eor (rd, rn, op) -> rrr_op "eor" rd rn op
+  | Lsl_ (rd, rn, op) -> rrr_op "lsl" rd rn op
+  | Lsr_ (rd, rn, op) -> rrr_op "lsr" rd rn op
+  | Mov (rd, op) -> Format.fprintf fmt "mov %a, %a" Reg.pp rd pp_operand op
+  | Cmp (rn, op) -> Format.fprintf fmt "cmp %a, %a" Reg.pp rn pp_operand op
+  | Adr (rd, l) -> Format.fprintf fmt "adr %a, %s" Reg.pp rd l
+  | Ldr (rt, m) -> Format.fprintf fmt "ldr %a, %a" Reg.pp rt pp_mem m
+  | Str (rt, m) -> Format.fprintf fmt "str %a, %a" Reg.pp rt pp_mem m
+  | Ldrb (rt, m) -> Format.fprintf fmt "ldrb %a, %a" Reg.pp rt pp_mem m
+  | Strb (rt, m) -> Format.fprintf fmt "strb %a, %a" Reg.pp rt pp_mem m
+  | Ldp (r1, r2, m) -> Format.fprintf fmt "ldp %a, %a, %a" Reg.pp r1 Reg.pp r2 pp_mem m
+  | Stp (r1, r2, m) -> Format.fprintf fmt "stp %a, %a, %a" Reg.pp r1 Reg.pp r2 pp_mem m
+  | B l -> Format.fprintf fmt "b %s" l
+  | Bcond (c, l) -> Format.fprintf fmt "b.%a %s" Cond.pp c l
+  | Cbz (r, l) -> Format.fprintf fmt "cbz %a, %s" Reg.pp r l
+  | Cbnz (r, l) -> Format.fprintf fmt "cbnz %a, %s" Reg.pp r l
+  | Bl l -> Format.fprintf fmt "bl %s" l
+  | Blr r -> Format.fprintf fmt "blr %a" Reg.pp r
+  | Br r -> Format.fprintf fmt "br %a" Reg.pp r
+  | Ret r -> if Reg.equal r Reg.lr then Format.pp_print_string fmt "ret" else Format.fprintf fmt "ret %a" Reg.pp r
+  | Retaa -> Format.pp_print_string fmt "retaa"
+  | Pacia (rd, rn) -> Format.fprintf fmt "pacia %a, %a" Reg.pp rd Reg.pp rn
+  | Autia (rd, rn) -> Format.fprintf fmt "autia %a, %a" Reg.pp rd Reg.pp rn
+  | Paciasp -> Format.pp_print_string fmt "paciasp"
+  | Autiasp -> Format.pp_print_string fmt "autiasp"
+  | Xpaci r -> Format.fprintf fmt "xpaci %a" Reg.pp r
+  | Pacga (rd, rn, rm) -> rrr "pacga" rd rn rm
+  | Svc n -> Format.fprintf fmt "svc #%d" n
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Hlt -> Format.pp_print_string fmt "hlt"
+  | Hook name -> Format.fprintf fmt "hook %s" name
+
+let to_string i = Format.asprintf "%a" pp i

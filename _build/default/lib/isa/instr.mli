@@ -1,0 +1,74 @@
+(** The instruction set of the simulated AArch64 subset.
+
+    Large enough to express everything the paper's listings need — frame
+    records, pair load/store with pre/post-indexing, indirect calls, tail
+    calls, the PA instruction family — and nothing more. *)
+
+type operand = Reg of Reg.t | Imm of int64
+
+type index_mode =
+  | Offset  (** [\[base, #off\]] — address untouched *)
+  | Pre     (** [\[base, #off\]!] — base updated before access *)
+  | Post    (** [\[base\], #off] — base updated after access *)
+
+type mem = { base : Reg.t; offset : int; index : index_mode }
+
+type label = string
+
+type t =
+  (* data processing *)
+  | Add of Reg.t * Reg.t * operand
+  | Sub of Reg.t * Reg.t * operand
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Udiv of Reg.t * Reg.t * Reg.t
+  | And_ of Reg.t * Reg.t * operand
+  | Orr of Reg.t * Reg.t * operand
+  | Eor of Reg.t * Reg.t * operand
+  | Lsl_ of Reg.t * Reg.t * operand
+  | Lsr_ of Reg.t * Reg.t * operand
+  | Mov of Reg.t * operand
+  | Cmp of Reg.t * operand
+  | Adr of Reg.t * label  (** address of a code or data symbol *)
+  (* memory *)
+  | Ldr of Reg.t * mem
+  | Str of Reg.t * mem
+  | Ldrb of Reg.t * mem
+  | Strb of Reg.t * mem
+  | Ldp of Reg.t * Reg.t * mem
+  | Stp of Reg.t * Reg.t * mem
+  (* control flow *)
+  | B of label
+  | Bcond of Cond.t * label
+  | Cbz of Reg.t * label
+  | Cbnz of Reg.t * label
+  | Bl of label
+  | Blr of Reg.t
+  | Br of Reg.t
+  | Ret of Reg.t
+  | Retaa  (** authenticate LR against SP, then return (§2.2.1) *)
+  (* pointer authentication *)
+  | Pacia of Reg.t * Reg.t  (** sign \[rd\] with modifier \[rn\], key IA *)
+  | Autia of Reg.t * Reg.t
+  | Paciasp  (** [pacia lr, sp] *)
+  | Autiasp
+  | Xpaci of Reg.t
+  | Pacga of Reg.t * Reg.t * Reg.t  (** rd <- 32-bit MAC of rn under rm *)
+  (* system *)
+  | Svc of int
+  | Nop
+  | Hlt  (** stop the machine (normal program exit in bare programs) *)
+  | Hook of string
+      (** Pseudo-instruction marking an attacker attachment point
+          (e.g. the vulnerability inside [stack_overwrite]); executes as a
+          no-op unless an adversary is attached. *)
+
+val cycles : t -> int
+(** Cost model (see DESIGN.md): ALU/branch 1, mul 3, div 12, load/store 4,
+    pair load/store 5, call/return 2, PAC operations 3, [Retaa] 5,
+    [Svc] 100, [Hook] 0. *)
+
+val reads_label : t -> label option
+(** The label this instruction references, if any. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

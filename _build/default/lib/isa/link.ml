@@ -1,0 +1,73 @@
+type error =
+  | Duplicate_symbol of string * int * int
+  | Undefined_symbols of string list
+  | Missing_entry of string
+
+exception Link_error of error
+
+let error_to_string = function
+  | Duplicate_symbol (s, i, j) -> Printf.sprintf "symbol %s defined in units %d and %d" s i j
+  | Undefined_symbols ss -> "undefined symbols: " ^ String.concat ", " ss
+  | Missing_entry e -> Printf.sprintf "entry symbol %s not defined by any unit" e
+
+let default_linkonce = [ "__throw"; "__exn_top" ]
+
+(* Drop later definitions of link-once (COMDAT-style) symbols — every
+   translation unit synthesizes its own copy of the exception runtime, and
+   exactly one must survive. *)
+let dedupe_linkonce ~linkonce units =
+  let keep = Hashtbl.create 8 in
+  List.map
+    (fun (u : Objfile.t) ->
+      let fresh sym =
+        if not (List.mem sym linkonce) then true
+        else if Hashtbl.mem keep sym then false
+        else begin
+          Hashtbl.replace keep sym ();
+          true
+        end
+      in
+      {
+        Objfile.funcs = List.filter (fun (f : Program.func) -> fresh f.name) u.funcs;
+        data = List.filter (fun (d : Program.data) -> fresh d.dname) u.data;
+      })
+    units
+
+let definitions units =
+  let where = Hashtbl.create 32 in
+  List.iteri
+    (fun idx u ->
+      List.iter
+        (fun sym ->
+          match Hashtbl.find_opt where sym with
+          | Some first -> raise (Link_error (Duplicate_symbol (sym, first, idx)))
+          | None -> Hashtbl.replace where sym idx)
+        (Objfile.defined_symbols u))
+    units;
+  where
+
+let undefined_symbols units =
+  let units = dedupe_linkonce ~linkonce:default_linkonce units in
+  match definitions units with
+  | exception Link_error _ -> []
+  | defined ->
+    List.concat_map
+      (fun u -> List.filter (fun s -> not (Hashtbl.mem defined s)) (Objfile.referenced_symbols u))
+      units
+    |> List.sort_uniq compare
+
+let link ?(entry = "main") ?(linkonce = default_linkonce) units =
+  let units = dedupe_linkonce ~linkonce units in
+  let defined = definitions units in
+  let undefined =
+    List.concat_map
+      (fun u -> List.filter (fun s -> not (Hashtbl.mem defined s)) (Objfile.referenced_symbols u))
+      units
+    |> List.sort_uniq compare
+  in
+  if undefined <> [] then raise (Link_error (Undefined_symbols undefined));
+  if not (Hashtbl.mem defined entry) then raise (Link_error (Missing_entry entry));
+  let funcs = List.concat_map (fun (u : Objfile.t) -> u.funcs) units in
+  let data = List.concat_map (fun (u : Objfile.t) -> u.data) units in
+  try Program.make ~data ~entry funcs
+  with Invalid_argument m -> raise (Link_error (Undefined_symbols [ m ]))

@@ -1,0 +1,24 @@
+(** A static linker over {!Objfile} units. *)
+
+type error =
+  | Duplicate_symbol of string * int * int  (** symbol, unit indices *)
+  | Undefined_symbols of string list
+  | Missing_entry of string
+
+exception Link_error of error
+
+val error_to_string : error -> string
+
+val undefined_symbols : Objfile.t list -> string list
+(** Symbols referenced by some unit but defined by none. *)
+
+val default_linkonce : string list
+(** Symbols every translation unit may define, of which the first
+    definition wins (COMDAT semantics): the synthesized exception
+    runtime. *)
+
+val link : ?entry:string -> ?linkonce:string list -> Objfile.t list -> Program.t
+(** Combines the units into a validated program (entry defaults to
+    ["main"]); raises {!Link_error} on duplicate definitions (other than
+    [linkonce] ones, which default to {!default_linkonce}), unresolved
+    references or a missing entry symbol. *)

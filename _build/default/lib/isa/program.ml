@@ -1,0 +1,80 @@
+type item = Lbl of string | Ins of Instr.t
+
+type func = { name : string; body : item list }
+
+type data = { dname : string; size : int }
+
+type t = { funcs : func list; data : data list; entry : string }
+
+let func name body = { name; body }
+
+let instructions f =
+  List.filter_map (function Ins i -> Some i | Lbl _ -> None) f.body
+
+let local_labels f =
+  List.filter_map (function Lbl l -> Some l | Ins _ -> None) f.body
+
+let symbols t = List.map (fun f -> f.name) t.funcs @ List.map (fun d -> d.dname) t.data
+
+let validate t =
+  let seen = Hashtbl.create 16 in
+  let define kind name =
+    if Hashtbl.mem seen name then
+      invalid_arg (Printf.sprintf "Program: duplicate %s symbol %s" kind name);
+    Hashtbl.add seen name ()
+  in
+  List.iter (fun f -> define "function" f.name) t.funcs;
+  List.iter (fun d -> define "data" d.dname) t.data;
+  if not (Hashtbl.mem seen t.entry) then
+    invalid_arg (Printf.sprintf "Program: entry symbol %s undefined" t.entry);
+  List.iter
+    (fun d ->
+      if d.size <= 0 then invalid_arg (Printf.sprintf "Program: data %s has size %d" d.dname d.size))
+    t.data;
+  let check_func f =
+    let locals = Hashtbl.create 8 in
+    List.iter
+      (fun l ->
+        if Hashtbl.mem locals l then
+          invalid_arg (Printf.sprintf "Program: duplicate label %s in %s" l f.name);
+        Hashtbl.add locals l ())
+      (local_labels f);
+    List.iter
+      (fun i ->
+        match Instr.reads_label i with
+        | None -> ()
+        | Some l ->
+          if not (Hashtbl.mem locals l || Hashtbl.mem seen l) then
+            invalid_arg (Printf.sprintf "Program: unknown label %s in %s" l f.name))
+      (instructions f)
+  in
+  List.iter check_func t.funcs
+
+let make ?(data = []) ~entry funcs =
+  let t = { funcs; data; entry } in
+  validate t;
+  t
+
+let instruction_count t =
+  List.fold_left (fun acc f -> acc + List.length (instructions f)) 0 t.funcs
+
+let find_func t name = List.find_opt (fun f -> f.name = name) t.funcs
+
+let map_funcs fn t =
+  let t = { t with funcs = List.map fn t.funcs } in
+  validate t;
+  t
+
+let pp fmt t =
+  List.iter (fun d -> Format.fprintf fmt ".data %s %d@." d.dname d.size) t.data;
+  Format.fprintf fmt ".entry %s@." t.entry;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt ".func %s@." f.name;
+      List.iter
+        (function
+          | Lbl l -> Format.fprintf fmt "%s:@." l
+          | Ins i -> Format.fprintf fmt "  %a@." Instr.pp i)
+        f.body;
+      Format.fprintf fmt ".endfunc@.")
+    t.funcs

@@ -1,0 +1,31 @@
+(** Assembly-level program representation: a set of functions (each a list
+    of labels and instructions), zero-initialised data objects and an entry
+    symbol. *)
+
+type item = Lbl of string | Ins of Instr.t
+
+type func = { name : string; body : item list }
+
+type data = { dname : string; size : int }
+(** A [size]-byte zero-initialised data object addressable via its
+    symbol. *)
+
+type t = { funcs : func list; data : data list; entry : string }
+
+val make : ?data:data list -> entry:string -> func list -> t
+(** Validates and returns the program; raises [Invalid_argument] when the
+    entry symbol is missing, a symbol is defined twice, or an instruction
+    references an unknown label/symbol. *)
+
+val func : string -> item list -> func
+
+val instructions : func -> Instr.t list
+val instruction_count : t -> int
+val find_func : t -> string -> func option
+val symbols : t -> string list
+(** All global symbols: function names and data names. *)
+
+val map_funcs : (func -> func) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints the program in the concrete syntax accepted by {!Asm.parse}. *)

@@ -1,0 +1,1 @@
+lib/machine/debug.ml: Buffer Hashtbl Image Int64 List Machine Memory Option Pacstack_isa Pacstack_util Printf Trap

@@ -1,0 +1,1 @@
+lib/machine/debug.mli: Machine Pacstack_util Trap

@@ -1,0 +1,1 @@
+lib/machine/image.ml: Array Hashtbl Int64 List Pacstack_isa Pacstack_util

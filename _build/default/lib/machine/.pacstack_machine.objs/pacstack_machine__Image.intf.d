@@ -1,0 +1,1 @@
+lib/machine/image.mli: Pacstack_isa Pacstack_util

@@ -1,0 +1,1 @@
+lib/machine/kernel.ml: Array Image Int64 List Machine Memory Pacstack_isa Pacstack_pa Pacstack_qarma Pacstack_util Printf Trap

@@ -1,0 +1,1 @@
+lib/machine/kernel.mli: Machine Pacstack_isa Pacstack_util

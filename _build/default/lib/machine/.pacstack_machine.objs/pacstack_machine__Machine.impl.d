@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Format Hashtbl Image Int32 Int64 List Memory Pacstack_isa Pacstack_pa Pacstack_util Printf Trap

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Format Image Memory Pacstack_isa Pacstack_pa Pacstack_util Trap

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Bytes Char Format Hashtbl Int64 List Option Pacstack_util Printf Trap

@@ -1,0 +1,1 @@
+lib/machine/profile.ml: Array Format Hashtbl Image Int Int64 List Machine Option Pacstack_isa

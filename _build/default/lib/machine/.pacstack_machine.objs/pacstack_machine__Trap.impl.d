@@ -1,0 +1,1 @@
+lib/machine/trap.ml: Format Pacstack_util

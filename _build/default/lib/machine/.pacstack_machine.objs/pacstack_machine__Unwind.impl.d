@@ -1,0 +1,1 @@
+lib/machine/unwind.ml: Image Int64 List Machine Memory Option Pacstack_isa Pacstack_pa Pacstack_util

@@ -1,0 +1,117 @@
+module Word64 = Pacstack_util.Word64
+module Reg = Pacstack_isa.Reg
+module Instr = Pacstack_isa.Instr
+
+type t = {
+  m : Machine.t;
+  breakpoints : (Word64.t, unit) Hashtbl.t;
+  watchpoints : (Word64.t, Word64.t) Hashtbl.t;  (* addr -> last seen value *)
+}
+
+type stop =
+  | Breakpoint of Word64.t
+  | Watchpoint of Word64.t * Word64.t * Word64.t
+  | Halted of int
+  | Faulted of Trap.t
+  | Out_of_fuel
+
+let create m = { m; breakpoints = Hashtbl.create 8; watchpoints = Hashtbl.create 8 }
+
+let break_at_addr t addr = Hashtbl.replace t.breakpoints addr ()
+
+let break_at t sym =
+  match Image.symbol (Machine.image t.m) sym with
+  | Some addr -> break_at_addr t addr
+  | None -> invalid_arg ("Debug.break_at: unknown symbol " ^ sym)
+
+let current_value m addr =
+  Option.value (Memory.peek64 (Machine.memory m) addr) ~default:0L
+
+let watch t addr = Hashtbl.replace t.watchpoints addr (current_value t.m addr)
+
+let clear t =
+  Hashtbl.reset t.breakpoints;
+  Hashtbl.reset t.watchpoints
+
+let check_watchpoints t =
+  Hashtbl.fold
+    (fun addr old acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let now = current_value t.m addr in
+        if Word64.equal now old then None
+        else begin
+          Hashtbl.replace t.watchpoints addr now;
+          Some (Watchpoint (addr, old, now))
+        end)
+    t.watchpoints None
+
+let poll t =
+  match Machine.halted t.m with
+  | Some code -> Some (Halted code)
+  | None -> (
+    match check_watchpoints t with
+    | Some s -> Some s
+    | None ->
+      if Hashtbl.mem t.breakpoints (Machine.pc t.m) then Some (Breakpoint (Machine.pc t.m))
+      else None)
+
+let step t =
+  match Machine.step t.m with
+  | () -> poll t
+  | exception Trap.Fault f -> Some (Faulted f)
+
+(* [step] advances before polling, so a breakpoint at the current PC does
+   not immediately re-trigger. *)
+let continue_ ?(fuel = 1_000_000) t =
+  let rec go budget =
+    if budget = 0 then Out_of_fuel
+    else
+      match step t with
+      | Some s -> s
+      | None -> go (budget - 1)
+  in
+  go fuel
+
+let where t =
+  let pc = Machine.pc t.m in
+  let image = Machine.image t.m in
+  match Image.function_at image pc with
+  | Some f -> (
+    match Image.function_bounds image f with
+    | Some (first, _) -> Printf.sprintf "%s+%Ld" f (Int64.sub pc first)
+    | None -> f)
+  | None -> Printf.sprintf "0x%Lx" pc
+
+let disassemble_around ?(window = 4) t =
+  let image = Machine.image t.m in
+  let pc = Machine.pc t.m in
+  let buf = Buffer.create 256 in
+  for k = -window to window do
+    let addr = Int64.add pc (Int64.of_int (4 * k)) in
+    match Image.fetch image addr with
+    | None -> ()
+    | Some i ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s0x%Lx: %s\n" (if k = 0 then "=> " else "   ") addr (Instr.to_string i))
+  done;
+  Buffer.contents buf
+
+let backtrace t =
+  let image = Machine.image t.m in
+  let mem = Machine.memory t.m in
+  let rec walk acc depth fp =
+    if depth > 256 || Word64.equal fp 0L then List.rev acc
+    else
+      match Memory.peek64 mem fp, Memory.peek64 mem (Int64.add fp 8L) with
+      | Some caller_fp, Some ret ->
+        let name =
+          match Image.function_at image ret with
+          | Some f -> f
+          | None -> Printf.sprintf "0x%Lx" ret
+        in
+        walk (name :: acc) (depth + 1) caller_fp
+      | _ -> List.rev acc
+  in
+  where t :: walk [] 0 (Machine.get t.m Reg.fp)

@@ -1,0 +1,45 @@
+(** A small debugger over the simulated machine: symbolic breakpoints,
+    memory watchpoints, and state inspection. Used by tests and handy when
+    developing new instrumentation passes. *)
+
+type t
+
+val create : Machine.t -> t
+
+val break_at : t -> string -> unit
+(** Break when PC reaches the named function's entry. Raises
+    [Invalid_argument] for unknown symbols. *)
+
+val break_at_addr : t -> Pacstack_util.Word64.t -> unit
+
+val watch : t -> Pacstack_util.Word64.t -> unit
+(** Break when the 64-bit word at the address changes value. *)
+
+val clear : t -> unit
+(** Remove all breakpoints and watchpoints. *)
+
+type stop =
+  | Breakpoint of Pacstack_util.Word64.t
+  | Watchpoint of Pacstack_util.Word64.t * Pacstack_util.Word64.t * Pacstack_util.Word64.t
+      (** address, old value, new value *)
+  | Halted of int
+  | Faulted of Trap.t
+  | Out_of_fuel
+
+val continue_ : ?fuel:int -> t -> stop
+(** Run until something interesting happens. A breakpoint hit at the
+    current PC does not immediately re-trigger. *)
+
+val step : t -> stop option
+(** Single instruction; [None] if execution simply advanced. *)
+
+val where : t -> string
+(** "function+offset" for the current PC. *)
+
+val disassemble_around : ?window:int -> t -> string
+(** Disassembly of the instructions surrounding PC, the current one
+    marked. *)
+
+val backtrace : t -> string list
+(** Frame-pointer-chain backtrace (unvalidated — works for all schemes);
+    innermost first. *)

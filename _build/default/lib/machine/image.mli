@@ -1,0 +1,55 @@
+(** A program laid out in the simulated address space.
+
+    Code occupies 4 bytes per instruction starting at {!code_base}; data
+    objects live in a read-write region; labels local to a function shadow
+    global symbols when resolved from inside that function. *)
+
+type t
+
+val code_base : Pacstack_util.Word64.t
+val data_base : Pacstack_util.Word64.t
+val stack_top : Pacstack_util.Word64.t
+val stack_size : int
+val shadow_base : Pacstack_util.Word64.t
+val shadow_size : int
+
+val build : Pacstack_isa.Program.t -> t
+(** Lays the program out (appending the [__halt] and
+    [__sigreturn_trampoline] runtime stubs if the program does not define
+    them) and computes the symbol tables. *)
+
+val program : t -> Pacstack_isa.Program.t
+
+val fetch : t -> Pacstack_util.Word64.t -> Pacstack_isa.Instr.t option
+(** The instruction at a code address, [None] outside the code image. *)
+
+val symbol : t -> string -> Pacstack_util.Word64.t option
+(** Address of a global symbol (function or data object). *)
+
+val resolve : t -> from:Pacstack_util.Word64.t -> string -> Pacstack_util.Word64.t option
+(** Label resolution as seen by the instruction at address [from]: local
+    labels of the enclosing function take precedence over globals. *)
+
+val entry : t -> Pacstack_util.Word64.t
+val halt_addr : t -> Pacstack_util.Word64.t
+val sigreturn_trampoline : t -> Pacstack_util.Word64.t
+
+val function_at : t -> Pacstack_util.Word64.t -> string option
+(** Name of the function covering a code address. *)
+
+val function_bounds : t -> string -> (Pacstack_util.Word64.t * Pacstack_util.Word64.t) option
+(** [(first, past_last)] code addresses of a function. *)
+
+val code_size : t -> int
+(** Bytes of code. *)
+
+val encoded : t -> int32 array * Pacstack_isa.Encode.pools
+(** The binary encoding of the code image — what the loader writes into
+    the executable pages. *)
+
+val is_function_entry : t -> Pacstack_util.Word64.t -> bool
+(** Whether an address is the first instruction of some function — the
+    target set of the coarse-grained forward-edge CFI (assumption A2). *)
+
+val disassemble : t -> string
+(** Disassembly of the whole code image from its binary encoding. *)

@@ -1,0 +1,389 @@
+module Word64 = Pacstack_util.Word64
+module Rng = Pacstack_util.Rng
+module Config = Pacstack_pa.Config
+module Keys = Pacstack_pa.Keys
+module Pac = Pacstack_pa.Pac
+module Pointer = Pacstack_pa.Pointer
+module Reg = Pacstack_isa.Reg
+module Cond = Pacstack_isa.Cond
+module Instr = Pacstack_isa.Instr
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  image : Image.t;
+  mutable keys : Keys.t;
+  xregs : Word64.t array;  (* X0 .. X30 *)
+  mutable sp : Word64.t;
+  mutable pc : Word64.t;
+  mutable flags : Cond.flags;
+  mutable halted : int option;
+  mutable cycles : int;
+  mutable instret : int;
+  mutable mem_ops : int;
+  mutable forward_cfi : bool;
+  mutable tracer : (t -> Pacstack_isa.Instr.t -> unit) option;
+  hooks : (string, t -> unit) Hashtbl.t;
+  mutable on_syscall : t -> int -> unit;
+  mutable out : int64 list;  (* newest first *)
+}
+
+let canary_symbol = "__stack_chk_guard"
+
+(* Bare machines (no kernel) still support exit and debug print. *)
+let default_syscall m n =
+  match n with
+  | 0 -> m.halted <- Some (Int64.to_int m.xregs.(0))
+  | 1 -> m.out <- m.xregs.(0) :: m.out
+  | n -> raise (Trap.Fault (Trap.Undefined (Printf.sprintf "svc #%d with no kernel" n)))
+
+let config t = t.cfg
+let keys t = t.keys
+let set_keys t k = t.keys <- k
+let memory t = t.mem
+let image t = t.image
+
+let get t = function
+  | Reg.X n -> t.xregs.(n)
+  | Reg.SP -> t.sp
+  | Reg.XZR -> 0L
+
+let set t r v =
+  match r with
+  | Reg.X n -> t.xregs.(n) <- v
+  | Reg.SP -> t.sp <- v
+  | Reg.XZR -> ()
+
+let pc t = t.pc
+let set_pc t v = t.pc <- v
+let flags t = t.flags
+let set_flags t f = t.flags <- f
+let cycles t = t.cycles
+let instructions_retired t = t.instret
+let memory_operations t = t.mem_ops
+let halted t = t.halted
+let set_halted t code = t.halted <- Some code
+
+let forward_cfi t = t.forward_cfi
+let set_forward_cfi t v = t.forward_cfi <- v
+let set_tracer t f = t.tracer <- f
+
+let attach_hook t name f = Hashtbl.replace t.hooks name f
+let detach_hook t name = Hashtbl.remove t.hooks name
+let set_syscall_handler t f = t.on_syscall <- f
+let output t = List.rev t.out
+let push_output t v = t.out <- v :: t.out
+
+let load ?(cfg = Config.default) ?keys ?rng program =
+  let rng = match rng with Some r -> r | None -> Rng.create 0x9ac57ac4L in
+  let keys = match keys with Some k -> k | None -> Keys.generate ~fast:true rng in
+  let image = Image.build program in
+  let mem = Memory.create () in
+  let code_bytes = max Memory.page_size (Image.code_size image) in
+  (* write the binary encoding into the code pages, then seal them rx: the
+     code bytes an adversary can disclose are real, and W^X is enforced
+     from the first fetch *)
+  Memory.map mem ~addr:Image.code_base ~size:code_bytes Memory.perm_rw;
+  let words, _pools = Image.encoded image in
+  Array.iteri
+    (fun i w ->
+      let addr = Int64.add Image.code_base (Int64.of_int (4 * i)) in
+      Memory.store8 mem addr (Int32.to_int w land 0xff);
+      Memory.store8 mem (Int64.add addr 1L) ((Int32.to_int w lsr 8) land 0xff);
+      Memory.store8 mem (Int64.add addr 2L) ((Int32.to_int w lsr 16) land 0xff);
+      Memory.store8 mem (Int64.add addr 3L) ((Int32.to_int w lsr 24) land 0xff))
+    words;
+  Memory.protect mem ~addr:Image.code_base ~size:code_bytes Memory.perm_rx;
+  (* one rw data region covering all objects (the image appends the canary
+     guard object when the program does not declare one) *)
+  let data_bytes =
+    List.fold_left
+      (fun acc (d : Pacstack_isa.Program.data) -> acc + ((d.size + 15) land lnot 15))
+      16 (Image.program image).data
+  in
+  Memory.map mem ~addr:Image.data_base ~size:(max Memory.page_size data_bytes) Memory.perm_rw;
+  Memory.map mem
+    ~addr:(Int64.sub Image.stack_top (Int64.of_int Image.stack_size))
+    ~size:Image.stack_size Memory.perm_rw;
+  Memory.map mem ~addr:Image.shadow_base ~size:Image.shadow_size Memory.perm_rw;
+  let t =
+    {
+      cfg;
+      mem;
+      image;
+      keys;
+      xregs = Array.make 31 0L;
+      sp = Image.stack_top;
+      pc = Image.entry image;
+      flags = Cond.flags_zero;
+      halted = None;
+      cycles = 0;
+      instret = 0;
+      mem_ops = 0;
+      forward_cfi = true;
+      tracer = None;
+      hooks = Hashtbl.create 4;
+      on_syscall = default_syscall;
+      out = [];
+    }
+  in
+  (match Image.symbol image canary_symbol with
+  | Some a -> Memory.store64 mem a (Rng.next64 rng)
+  | None -> ());
+  set t Reg.lr (Image.halt_addr image);
+  set t Reg.shadow Image.shadow_base;
+  t
+
+let clone t =
+  {
+    t with
+    mem = Memory.copy t.mem;
+    xregs = Array.copy t.xregs;
+    hooks = t.hooks;
+    out = t.out;
+  }
+
+(* --- address translation checks ------------------------------------- *)
+
+let translate t addr access =
+  if not (Pointer.is_canonical t.cfg addr) then raise (Trap.Fault (Trap.Translation (addr, access)))
+
+let load64 t addr =
+  translate t addr Trap.Read;
+  Memory.load64 t.mem addr
+
+let store64 t addr v =
+  translate t addr Trap.Write;
+  Memory.store64 t.mem addr v
+
+let load8 t addr =
+  translate t addr Trap.Read;
+  Memory.load8 t.mem addr
+
+let store8 t addr v =
+  translate t addr Trap.Write;
+  Memory.store8 t.mem addr v
+
+(* --- operand helpers -------------------------------------------------- *)
+
+let operand t = function Instr.Reg r -> get t r | Instr.Imm i -> i
+
+(* Effective address of a memory operand, applying pre/post indexing to
+   the base register. *)
+let effective t ({ base; offset; index } : Instr.mem) =
+  let baseval = get t base in
+  let off = Int64.of_int offset in
+  match index with
+  | Instr.Offset -> Int64.add baseval off
+  | Instr.Pre ->
+    let a = Int64.add baseval off in
+    set t base a;
+    a
+  | Instr.Post ->
+    set t base (Int64.add baseval off);
+    baseval
+
+let resolve t label =
+  match Image.resolve t.image ~from:t.pc label with
+  | Some a -> a
+  | None -> raise (Trap.Fault (Trap.Undefined ("unresolved label " ^ label)))
+
+let ia t = Keys.get t.keys Keys.IA
+let ga t = Keys.get t.keys Keys.GA
+
+let auth_result = function Pac.Valid p -> p | Pac.Invalid p -> p
+
+(* --- instruction semantics ------------------------------------------- *)
+
+let exec t instr =
+  let next = Int64.add t.pc 4L in
+  let goto a = t.pc <- a in
+  let fallthrough () = goto next in
+  let binop rd rn op f =
+    set t rd (f (get t rn) (operand t op));
+    fallthrough ()
+  in
+  match instr with
+  | Instr.Add (rd, rn, op) -> binop rd rn op Int64.add
+  | Instr.Sub (rd, rn, op) -> binop rd rn op Int64.sub
+  | Instr.Mul (rd, rn, rm) ->
+    set t rd (Int64.mul (get t rn) (get t rm));
+    fallthrough ()
+  | Instr.Udiv (rd, rn, rm) ->
+    let d = get t rm in
+    set t rd (if d = 0L then 0L else Int64.unsigned_div (get t rn) d);
+    fallthrough ()
+  | Instr.And_ (rd, rn, op) -> binop rd rn op Int64.logand
+  | Instr.Orr (rd, rn, op) -> binop rd rn op Int64.logor
+  | Instr.Eor (rd, rn, op) -> binop rd rn op Int64.logxor
+  | Instr.Lsl_ (rd, rn, op) ->
+    binop rd rn op (fun a b -> Int64.shift_left a (Int64.to_int b land 63))
+  | Instr.Lsr_ (rd, rn, op) ->
+    binop rd rn op (fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63))
+  | Instr.Mov (rd, op) ->
+    set t rd (operand t op);
+    fallthrough ()
+  | Instr.Cmp (rn, op) ->
+    t.flags <- Cond.of_compare (get t rn) (operand t op);
+    fallthrough ()
+  | Instr.Adr (rd, l) ->
+    set t rd (resolve t l);
+    fallthrough ()
+  | Instr.Ldr (rt, m) ->
+    set t rt (load64 t (effective t m));
+    fallthrough ()
+  | Instr.Str (rt, m) ->
+    store64 t (effective t m) (get t rt);
+    fallthrough ()
+  | Instr.Ldrb (rt, m) ->
+    set t rt (Int64.of_int (load8 t (effective t m)));
+    fallthrough ()
+  | Instr.Strb (rt, m) ->
+    store8 t (effective t m) (Int64.to_int (Int64.logand (get t rt) 0xffL));
+    fallthrough ()
+  | Instr.Ldp (r1, r2, m) ->
+    let a = effective t m in
+    set t r1 (load64 t a);
+    set t r2 (load64 t (Int64.add a 8L));
+    fallthrough ()
+  | Instr.Stp (r1, r2, m) ->
+    let a = effective t m in
+    store64 t a (get t r1);
+    store64 t (Int64.add a 8L) (get t r2);
+    fallthrough ()
+  | Instr.B l -> goto (resolve t l)
+  | Instr.Bcond (c, l) -> if Cond.holds c t.flags then goto (resolve t l) else fallthrough ()
+  | Instr.Cbz (r, l) -> if get t r = 0L then goto (resolve t l) else fallthrough ()
+  | Instr.Cbnz (r, l) -> if get t r <> 0L then goto (resolve t l) else fallthrough ()
+  | Instr.Bl l ->
+    set t Reg.lr next;
+    goto (resolve t l)
+  | Instr.Blr r ->
+    let target = get t r in
+    (* assumption A2: indirect calls must land on a function entry *)
+    if t.forward_cfi && not (Image.is_function_entry t.image target) then
+      raise (Trap.Fault (Trap.Cfi_violation target));
+    set t Reg.lr next;
+    goto target
+  | Instr.Br r -> goto (get t r)
+  | Instr.Ret r -> goto (get t r)
+  | Instr.Retaa ->
+    let lr = auth_result (Pac.auth t.cfg (ia t) (get t Reg.lr) ~modifier:t.sp) in
+    set t Reg.lr lr;
+    goto lr
+  | Instr.Pacia (rd, rn) ->
+    set t rd (Pac.add t.cfg (ia t) (get t rd) ~modifier:(get t rn));
+    fallthrough ()
+  | Instr.Autia (rd, rn) ->
+    set t rd (auth_result (Pac.auth t.cfg (ia t) (get t rd) ~modifier:(get t rn)));
+    fallthrough ()
+  | Instr.Paciasp ->
+    set t Reg.lr (Pac.add t.cfg (ia t) (get t Reg.lr) ~modifier:t.sp);
+    fallthrough ()
+  | Instr.Autiasp ->
+    set t Reg.lr (auth_result (Pac.auth t.cfg (ia t) (get t Reg.lr) ~modifier:t.sp));
+    fallthrough ()
+  | Instr.Xpaci r ->
+    set t r (Pac.strip t.cfg (get t r));
+    fallthrough ()
+  | Instr.Pacga (rd, rn, rm) ->
+    set t rd (Pac.generic t.cfg (ga t) (get t rn) ~modifier:(get t rm));
+    fallthrough ()
+  | Instr.Svc n ->
+    (* PC already points past the svc when the handler runs, as if the
+       exception return address had been saved. *)
+    fallthrough ();
+    t.on_syscall t n
+  | Instr.Nop -> fallthrough ()
+  | Instr.Hlt ->
+    t.halted <- Some (Int64.to_int t.xregs.(0));
+    fallthrough ()
+  | Instr.Hook name -> (
+    fallthrough ();
+    match Hashtbl.find_opt t.hooks name with
+    | Some f -> f t
+    | None -> ())
+
+let step t =
+  match t.halted with
+  | Some _ -> ()
+  | None ->
+    translate t t.pc Trap.Execute;
+    Memory.check_exec t.mem t.pc;
+    let instr =
+      match Image.fetch t.image t.pc with
+      | Some i -> i
+      | None -> raise (Trap.Fault (Trap.Undefined (Printf.sprintf "fetch outside code at %Lx" t.pc)))
+    in
+    t.cycles <- t.cycles + Instr.cycles instr;
+    t.instret <- t.instret + 1;
+    (match instr with
+    | Instr.Ldr _ | Instr.Str _ | Instr.Ldrb _ | Instr.Strb _ -> t.mem_ops <- t.mem_ops + 1
+    | Instr.Ldp _ | Instr.Stp _ -> t.mem_ops <- t.mem_ops + 2
+    | _ -> ());
+    (match t.tracer with Some f -> f t instr | None -> ());
+    exec t instr
+
+type outcome = Halted of int | Faulted of Trap.t | Out_of_fuel
+
+let run ?(fuel = 10_000_000) t =
+  let rec go budget =
+    match t.halted with
+    | Some code -> Halted code
+    | None ->
+      if budget = 0 then Out_of_fuel
+      else (
+        match step t with
+        | () -> go (budget - 1)
+        | exception Trap.Fault f -> Faulted f)
+  in
+  go fuel
+
+let pp_state fmt t =
+  Format.fprintf fmt "pc=%a sp=%a lr=%a cr=%a x0=%a cycles=%d" Word64.pp t.pc Word64.pp t.sp
+    Word64.pp (get t Reg.lr) Word64.pp (get t Reg.cr) Word64.pp t.xregs.(0) t.cycles
+
+(* --- contexts -------------------------------------------------------- *)
+
+type context = {
+  c_xregs : Word64.t array;
+  c_sp : Word64.t;
+  c_pc : Word64.t;
+  c_flags : Cond.flags;
+}
+
+let save_context t =
+  { c_xregs = Array.copy t.xregs; c_sp = t.sp; c_pc = t.pc; c_flags = t.flags }
+
+let restore_context t c =
+  Array.blit c.c_xregs 0 t.xregs 0 31;
+  t.sp <- c.c_sp;
+  t.pc <- c.c_pc;
+  t.flags <- c.c_flags
+
+let context_pc c = c.c_pc
+
+let context_get c = function
+  | Reg.X n -> c.c_xregs.(n)
+  | Reg.SP -> c.c_sp
+  | Reg.XZR -> 0L
+
+let flags_word (f : Cond.flags) =
+  let b v i = if v then Int64.shift_left 1L i else 0L in
+  Int64.logor (b f.n 3) (Int64.logor (b f.z 2) (Int64.logor (b f.c 1) (b f.v 0)))
+
+let flags_of_word w =
+  let b i = Word64.bit w i in
+  { Cond.n = b 3; z = b 2; c = b 1; v = b 0 }
+
+let context_words c =
+  Array.concat [ c.c_xregs; [| c.c_sp; c.c_pc; flags_word c.c_flags |] ]
+
+let context_of_words w =
+  if Array.length w <> 34 then invalid_arg "Machine.context_of_words";
+  {
+    c_xregs = Array.sub w 0 31;
+    c_sp = w.(31);
+    c_pc = w.(32);
+    c_flags = flags_of_word w.(33);
+  }

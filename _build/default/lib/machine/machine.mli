@@ -1,0 +1,111 @@
+(** The simulated user-visible machine: register file, memory, loaded
+    image, PA keys and the instruction-step semantics.
+
+    One [Machine.t] is one hardware thread running one program. The kernel
+    personality ({!Kernel}) layers processes, threads and signals on top. *)
+
+type t
+
+(** {1 Construction} *)
+
+val load :
+  ?cfg:Pacstack_pa.Config.t ->
+  ?keys:Pacstack_pa.Keys.t ->
+  ?rng:Pacstack_util.Rng.t ->
+  Pacstack_isa.Program.t -> t
+(** Builds the image, maps code (rx), data (rw), stack (rw) and the shadow
+    stack region (rw), seeds the stack-canary global, points SP at the
+    stack top, X18 at the shadow stack base, LR at [__halt], and PC at the
+    entry symbol. [keys] defaults to a fresh set drawn from [rng]
+    (defaulting to a fixed-seed generator). *)
+
+val clone : t -> t
+(** Deep copy: memory, registers and keys (used by [fork]). Hooks and the
+    syscall handler are shared. *)
+
+(** {1 State access} *)
+
+val config : t -> Pacstack_pa.Config.t
+val keys : t -> Pacstack_pa.Keys.t
+val set_keys : t -> Pacstack_pa.Keys.t -> unit
+val memory : t -> Memory.t
+val image : t -> Image.t
+
+val get : t -> Pacstack_isa.Reg.t -> Pacstack_util.Word64.t
+(** Reads a register; [XZR] reads as zero. *)
+
+val set : t -> Pacstack_isa.Reg.t -> Pacstack_util.Word64.t -> unit
+(** Writes a register; writes to [XZR] are discarded. *)
+
+val pc : t -> Pacstack_util.Word64.t
+val set_pc : t -> Pacstack_util.Word64.t -> unit
+val flags : t -> Pacstack_isa.Cond.flags
+val set_flags : t -> Pacstack_isa.Cond.flags -> unit
+
+val cycles : t -> int
+val instructions_retired : t -> int
+
+val memory_operations : t -> int
+(** Loads/stores executed (pair operations count twice) — input to the
+    multi-worker memory-contention model of the Table 3 experiment. *)
+
+val halted : t -> int option
+val set_halted : t -> int -> unit
+
+val canary_symbol : string
+(** Name of the data object holding the stack-protector guard value. *)
+
+val forward_cfi : t -> bool
+val set_forward_cfi : t -> bool -> unit
+(** Coarse-grained forward-edge CFI (assumption A2): when enabled (the
+    default, as the paper assumes), indirect calls may only target
+    function entry points; violations raise {!Trap.Fault} with
+    [Cfi_violation]. Disable to study PACStack without its prerequisite. *)
+
+val set_tracer : t -> (t -> Pacstack_isa.Instr.t -> unit) option -> unit
+(** Per-instruction observer invoked before execution (PC still points at
+    the instruction). Used by {!Profile}; [None] removes it. *)
+
+(** {1 Hooks and syscalls} *)
+
+val attach_hook : t -> string -> (t -> unit) -> unit
+(** Installs the adversary (or test probe) invoked by [Hook name]. *)
+
+val detach_hook : t -> string -> unit
+
+val set_syscall_handler : t -> (t -> int -> unit) -> unit
+(** Invoked on [Svc n]; the default handler implements [svc #0] as exit
+    with code X0, [svc #1] as debug print of X0, and faults on anything
+    else. *)
+
+val output : t -> int64 list
+(** Values printed via the debug-print syscall, oldest first. *)
+
+val push_output : t -> int64 -> unit
+
+(** {1 Execution} *)
+
+val step : t -> unit
+(** Executes one instruction; raises {!Trap.Fault}. No-op once halted. *)
+
+type outcome = Halted of int | Faulted of Trap.t | Out_of_fuel
+
+val run : ?fuel:int -> t -> outcome
+(** Steps until halt, fault or [fuel] instructions (default 10 million). *)
+
+val pp_state : Format.formatter -> t -> unit
+(** One-line register dump for diagnostics. *)
+
+(** {1 Context save/restore (used by the kernel)} *)
+
+type context
+
+val save_context : t -> context
+val restore_context : t -> context -> unit
+val context_pc : context -> Pacstack_util.Word64.t
+val context_get : context -> Pacstack_isa.Reg.t -> Pacstack_util.Word64.t
+val context_words : context -> Pacstack_util.Word64.t array
+(** Flat encoding: X0..X30, SP, PC, flags-as-word — the layout the kernel
+    writes into user-visible signal frames. *)
+
+val context_of_words : Pacstack_util.Word64.t array -> context

@@ -1,0 +1,167 @@
+module Word64 = Pacstack_util.Word64
+
+type perm = { readable : bool; writable : bool; executable : bool }
+
+let perm_r = { readable = true; writable = false; executable = false }
+let perm_rw = { readable = true; writable = true; executable = false }
+let perm_rx = { readable = true; writable = false; executable = true }
+
+let pp_perm fmt p =
+  Format.fprintf fmt "%c%c%c"
+    (if p.readable then 'r' else '-')
+    (if p.writable then 'w' else '-')
+    (if p.executable then 'x' else '-')
+
+type page = { data : Bytes.t; perm : perm }
+
+type t = { pages : (int64, page) Hashtbl.t }
+
+let page_size = 4096
+let page_bits = 12
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_index addr = Int64.shift_right_logical addr page_bits
+let page_offset addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 1)))
+
+let map t ~addr ~size perm =
+  if size <= 0 then invalid_arg "Memory.map: size";
+  if perm.writable && perm.executable then invalid_arg "Memory.map: W^X violation";
+  let first = page_index addr in
+  let last = page_index (Int64.add addr (Int64.of_int (size - 1))) in
+  let n = Int64.to_int (Int64.sub last first) in
+  for i = 0 to n do
+    let idx = Int64.add first (Int64.of_int i) in
+    if Hashtbl.mem t.pages idx then
+      invalid_arg (Printf.sprintf "Memory.map: page %Lx already mapped" idx)
+  done;
+  for i = 0 to n do
+    let idx = Int64.add first (Int64.of_int i) in
+    Hashtbl.replace t.pages idx { data = Bytes.make page_size '\000'; perm }
+  done
+
+let unmap t ~addr ~size =
+  if size <= 0 then invalid_arg "Memory.unmap: size";
+  let first = page_index addr in
+  let last = page_index (Int64.add addr (Int64.of_int (size - 1))) in
+  let n = Int64.to_int (Int64.sub last first) in
+  for i = 0 to n do
+    Hashtbl.remove t.pages (Int64.add first (Int64.of_int i))
+  done
+
+let protect t ~addr ~size perm =
+  if size <= 0 then invalid_arg "Memory.protect: size";
+  if perm.writable && perm.executable then invalid_arg "Memory.protect: W^X violation";
+  let first = page_index addr in
+  let last = page_index (Int64.add addr (Int64.of_int (size - 1))) in
+  let n = Int64.to_int (Int64.sub last first) in
+  for i = 0 to n do
+    let idx = Int64.add first (Int64.of_int i) in
+    match Hashtbl.find_opt t.pages idx with
+    | None -> invalid_arg (Printf.sprintf "Memory.protect: page %Lx not mapped" idx)
+    | Some p -> Hashtbl.replace t.pages idx { p with perm }
+  done
+
+let find t addr = Hashtbl.find_opt t.pages (page_index addr)
+
+let is_mapped t addr = find t addr <> None
+let perm_at t addr = Option.map (fun p -> p.perm) (find t addr)
+
+let page_for t addr access =
+  match find t addr with
+  | None -> raise (Trap.Fault (Trap.Unmapped (addr, access)))
+  | Some p -> p
+
+let load8 t addr =
+  let p = page_for t addr Trap.Read in
+  if not p.perm.readable then raise (Trap.Fault (Trap.Permission (addr, Trap.Read)));
+  Char.code (Bytes.get p.data (page_offset addr))
+
+let store8 t addr v =
+  let p = page_for t addr Trap.Write in
+  if not p.perm.writable then raise (Trap.Fault (Trap.Permission (addr, Trap.Write)));
+  Bytes.set p.data (page_offset addr) (Char.chr (v land 0xff))
+
+let load64 t addr =
+  (* Fast path: the common aligned access within one page. *)
+  let off = page_offset addr in
+  if off <= page_size - 8 then begin
+    let p = page_for t addr Trap.Read in
+    if not p.perm.readable then raise (Trap.Fault (Trap.Permission (addr, Trap.Read)));
+    Bytes.get_int64_le p.data off
+  end
+  else
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (load8 t (Int64.add addr (Int64.of_int i)))))
+    in
+    go 7 0L
+
+let store64 t addr v =
+  let off = page_offset addr in
+  if off <= page_size - 8 then begin
+    let p = page_for t addr Trap.Write in
+    if not p.perm.writable then raise (Trap.Fault (Trap.Permission (addr, Trap.Write)));
+    Bytes.set_int64_le p.data off v
+  end
+  else
+    for i = 0 to 7 do
+      store8 t (Int64.add addr (Int64.of_int i)) (Int64.to_int (Word64.extract v ~lo:(8 * i) ~width:8))
+    done
+
+let check_exec t addr =
+  let p = page_for t addr Trap.Execute in
+  if not p.perm.executable then raise (Trap.Fault (Trap.Permission (addr, Trap.Execute)))
+
+let peek64 t addr =
+  match find t addr with
+  | None -> None
+  | Some _ -> (
+    (* Crossing into an unmapped page also yields None. *)
+    try
+      let rec go i acc =
+        if i < 0 then acc
+        else
+          match find t (Int64.add addr (Int64.of_int i)) with
+          | None -> raise Exit
+          | Some p ->
+            let b = Char.code (Bytes.get p.data (page_offset (Int64.add addr (Int64.of_int i)))) in
+            go (i - 1) (Int64.logor (Int64.shift_left acc 8) (Int64.of_int b))
+      in
+      Some (go 7 0L)
+    with Exit -> None)
+
+let poke64 t addr v =
+  let writable_at a =
+    match find t a with Some p -> p.perm.writable | None -> false
+  in
+  let ok = ref true in
+  for i = 0 to 7 do
+    if not (writable_at (Int64.add addr (Int64.of_int i))) then ok := false
+  done;
+  if !ok then
+    for i = 0 to 7 do
+      let a = Int64.add addr (Int64.of_int i) in
+      let p = page_for t a Trap.Write in
+      Bytes.set p.data (page_offset a) (Char.chr (Int64.to_int (Word64.extract v ~lo:(8 * i) ~width:8)))
+    done;
+  !ok
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k p -> Hashtbl.replace pages k { p with data = Bytes.copy p.data }) t.pages;
+  { pages }
+
+let mapped_ranges t =
+  let idxs = Hashtbl.fold (fun k p acc -> (k, p.perm) :: acc) t.pages [] in
+  let idxs = List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) idxs in
+  let rec runs acc = function
+    | [] -> List.rev acc
+    | (idx, perm) :: rest -> (
+      match acc with
+      | (start, size, p) :: tl
+        when p = perm && Int64.equal (Int64.add start (Int64.of_int size)) (Int64.shift_left idx page_bits) ->
+        runs ((start, size + page_size, p) :: tl) rest
+      | _ -> runs ((Int64.shift_left idx page_bits, page_size, perm) :: acc) rest)
+  in
+  runs [] idxs

@@ -1,0 +1,56 @@
+(** Sparse, page-granular byte-addressable memory with W⊕X enforcement.
+
+    Addresses are 64-bit words; multi-byte accesses are little-endian and
+    may cross page boundaries. Unmapped or insufficiently-permitted
+    accesses raise {!Trap.Fault}. *)
+
+type perm = { readable : bool; writable : bool; executable : bool }
+
+val perm_r : perm
+val perm_rw : perm
+val perm_rx : perm
+val pp_perm : Format.formatter -> perm -> unit
+
+type t
+
+val create : unit -> t
+
+val page_size : int
+
+val map : t -> addr:Pacstack_util.Word64.t -> size:int -> perm -> unit
+(** Maps (and zeroes) the pages covering [\[addr, addr+size)]. Raises
+    [Invalid_argument] if a page is already mapped, or if the permission
+    is simultaneously writable and executable (W⊕X, assumption A1). *)
+
+val unmap : t -> addr:Pacstack_util.Word64.t -> size:int -> unit
+
+val protect : t -> addr:Pacstack_util.Word64.t -> size:int -> perm -> unit
+(** mprotect: changes the permission of already-mapped pages, preserving
+    their contents. W⊕X is still enforced; unmapped pages raise
+    [Invalid_argument]. *)
+
+val is_mapped : t -> Pacstack_util.Word64.t -> bool
+val perm_at : t -> Pacstack_util.Word64.t -> perm option
+
+val load8 : t -> Pacstack_util.Word64.t -> int
+val store8 : t -> Pacstack_util.Word64.t -> int -> unit
+val load64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t
+val store64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t -> unit
+
+val check_exec : t -> Pacstack_util.Word64.t -> unit
+(** Raises unless the address lies in an executable page. *)
+
+val peek64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t option
+(** Non-faulting read used by the adversary and by debugging tools:
+    [None] when unmapped. Ignores read permission — the paper's adversary
+    reads the whole address space (requirement R2). *)
+
+val poke64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t -> bool
+(** Non-faulting write for the adversary: succeeds only on mapped,
+    writable pages (W⊕X still binds the adversary); returns success. *)
+
+val copy : t -> t
+(** Deep copy (used by [fork]). *)
+
+val mapped_ranges : t -> (Pacstack_util.Word64.t * int * perm) list
+(** Sorted list of (start, size, perm) for each maximal mapped run. *)

@@ -1,0 +1,35 @@
+module Word64 = Pacstack_util.Word64
+
+type access = Read | Write | Execute
+
+type t =
+  | Unmapped of Word64.t * access
+  | Permission of Word64.t * access
+  | Translation of Word64.t * access
+  | Cfi_violation of Word64.t
+  | Undefined of string
+
+exception Fault of t
+
+let pp_access fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write -> Format.pp_print_string fmt "write"
+  | Execute -> Format.pp_print_string fmt "execute"
+
+let pp fmt = function
+  | Unmapped (a, acc) -> Format.fprintf fmt "unmapped %a at %a" pp_access acc Word64.pp a
+  | Permission (a, acc) -> Format.fprintf fmt "permission violation (%a) at %a" pp_access acc Word64.pp a
+  | Translation (a, acc) -> Format.fprintf fmt "translation fault (%a) at %a" pp_access acc Word64.pp a
+  | Cfi_violation a -> Format.fprintf fmt "forward-edge CFI violation at %a" Word64.pp a
+  | Undefined msg -> Format.fprintf fmt "undefined: %s" msg
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b =
+  match a, b with
+  | Unmapped (x, p), Unmapped (y, q)
+  | Permission (x, p), Permission (y, q)
+  | Translation (x, p), Translation (y, q) -> Word64.equal x y && p = q
+  | Cfi_violation x, Cfi_violation y -> Word64.equal x y
+  | Undefined x, Undefined y -> x = y
+  | (Unmapped _ | Permission _ | Translation _ | Cfi_violation _ | Undefined _), _ -> false

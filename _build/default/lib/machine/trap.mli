@@ -1,0 +1,27 @@
+(** Faults the simulated hardware can raise.
+
+    A failed pointer authentication never faults by itself; the fault
+    materialises later, when the corrupted pointer is translated — exactly
+    the ARMv8.3-A behaviour the paper relies on (§2.2). *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Unmapped of Pacstack_util.Word64.t * access
+      (** Access to an address with no page mapped. *)
+  | Permission of Pacstack_util.Word64.t * access
+      (** Access violating page permissions (e.g. a W⊕X write to code). *)
+  | Translation of Pacstack_util.Word64.t * access
+      (** Non-canonical address — the fate of pointers that failed [aut]. *)
+  | Cfi_violation of Pacstack_util.Word64.t
+      (** Indirect branch to a non-function-entry target, rejected by the
+          coarse-grained forward-edge CFI of assumption A2. *)
+  | Undefined of string
+      (** Architecturally undefined situation (bad syscall number, ...). *)
+
+exception Fault of t
+
+val pp_access : Format.formatter -> access -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,107 @@
+module Word64 = Pacstack_util.Word64
+module Pac = Pacstack_pa.Pac
+module Keys = Pacstack_pa.Keys
+module Reg = Pacstack_isa.Reg
+
+type frame = {
+  return_address : Word64.t;
+  frame_pointer : Word64.t;
+  func : string option;
+}
+
+type error = { depth : int; reason : string }
+
+let mask_of m ~aret_prev =
+  (* pacia(0, aret_prev): a pointer whose address bits are zero and whose
+     PAC field is the mask — XORing it into an aret masks/unmasks exactly
+     the auth part (Listing 3). *)
+  Pac.add (Machine.config m) (Keys.get (Machine.keys m) Keys.IA) 0L ~modifier:aret_prev
+
+(* Validate one frame: authenticate the live [aret] against the stored
+   [aret_{i-1}] at [fp-16] and follow the frame-record link at [fp]. *)
+let step_frame ~masked m ~aret ~fp =
+  let mem = Machine.memory m in
+  let cfg = Machine.config m in
+  let ia = Keys.get (Machine.keys m) Keys.IA in
+  match Memory.peek64 mem (Int64.sub fp 16L), Memory.peek64 mem fp with
+  | None, _ | _, None -> Error "frame record outside mapped memory"
+  | Some aret_prev, Some caller_fp ->
+    let unmasked = if masked then Int64.logxor aret (mask_of m ~aret_prev) else aret in
+    (match Pac.auth cfg ia unmasked ~modifier:aret_prev with
+    | Pac.Invalid _ -> Error "authentication failure"
+    | Pac.Valid ret -> Ok (ret, aret_prev, caller_fp))
+
+let backtrace ?(masked = true) ?(max_depth = 4096) m =
+  let rec go depth aret fp acc =
+    if Word64.equal aret 0L then Ok (List.rev acc)
+    else if depth >= max_depth then Error { depth; reason = "max depth exceeded" }
+    else
+      match step_frame ~masked m ~aret ~fp with
+      | Error reason -> Error { depth; reason }
+      | Ok (ret, aret_prev, caller_fp) ->
+        let frame =
+          { return_address = ret; frame_pointer = fp; func = Image.function_at (Machine.image m) ret }
+        in
+        go (depth + 1) aret_prev caller_fp (frame :: acc)
+  in
+  go 0 (Machine.get m Reg.cr) (Machine.get m Reg.fp) []
+
+(* jmp_buf slot offsets (kept in sync with Pacstack_harden.Runtime) *)
+let slot_x i = 8 * (i - 19)
+let slot_fp = 80
+let slot_lr = 88
+let slot_sp = 96
+let slot_x18 = 104
+
+let validated_longjmp ?(masked = true) ?(max_depth = 4096) m ~jmp_buf ~value =
+  let mem = Machine.memory m in
+  let read off = Memory.peek64 mem (Int64.add jmp_buf (Int64.of_int off)) in
+  match read (slot_x 28), read slot_sp, read slot_lr with
+  | Some target_aret, Some target_sp, Some bound_lr -> (
+    let rec walk depth aret fp =
+      if Word64.equal aret target_aret && Int64.unsigned_compare target_sp fp <= 0 then Ok depth
+      else if Word64.equal aret 0L then
+        Error { depth; reason = "target frame not found in validated chain" }
+      else if depth >= max_depth then Error { depth; reason = "max depth exceeded" }
+      else
+        match step_frame ~masked m ~aret ~fp with
+        | Error reason -> Error { depth; reason }
+        | Ok (_ret, aret_prev, caller_fp) -> walk (depth + 1) aret_prev caller_fp
+    in
+    match walk 0 (Machine.get m Reg.cr) (Machine.get m Reg.fp) with
+    | Error e -> Error e
+    | Ok depth -> (
+      (* authenticate the bound return address exactly as the Listing 5
+         wrapper does *)
+      let cfg = Machine.config m in
+      let ia = Pacstack_pa.Keys.get (Machine.keys m) Pacstack_pa.Keys.IA in
+      let sp_binding = Pac.add cfg ia target_sp ~modifier:target_aret in
+      let unbound = Int64.logxor bound_lr sp_binding in
+      match Pac.auth cfg ia unbound ~modifier:target_aret with
+      | Pac.Invalid _ -> Error { depth; reason = "jmp_buf return address failed authentication" }
+      | Pac.Valid ret ->
+        (* perform the transfer: restore the saved environment *)
+        let restore reg off = Option.iter (Machine.set m reg) (read off) in
+        for r = 19 to 28 do
+          restore (Reg.x r) (slot_x r)
+        done;
+        restore Reg.fp slot_fp;
+        restore Reg.shadow slot_x18;
+        Machine.set m Reg.SP target_sp;
+        Machine.set m (Reg.x 0) (if Word64.equal value 0L then 1L else value);
+        Machine.set_pc m ret;
+        Ok depth))
+  | _ -> Error { depth = 0; reason = "jmp_buf outside mapped memory" }
+
+let unwind_to ?(masked = true) ?(max_depth = 4096) m ~target_sp ~target_aret =
+  let rec go depth aret fp =
+    if Word64.equal aret target_aret && Int64.unsigned_compare target_sp fp <= 0 then Ok depth
+    else if Word64.equal aret 0L then
+      Error { depth; reason = "target frame not found in validated chain" }
+    else if depth >= max_depth then Error { depth; reason = "max depth exceeded" }
+    else
+      match step_frame ~masked m ~aret ~fp with
+      | Error reason -> Error { depth; reason }
+      | Ok (_ret, aret_prev, caller_fp) -> go (depth + 1) aret_prev caller_fp
+  in
+  go 0 (Machine.get m Reg.cr) (Machine.get m Reg.fp)

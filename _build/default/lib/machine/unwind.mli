@@ -1,0 +1,46 @@
+(** ACS-validating stack unwinder (§9.1).
+
+    Walks the frame-pointer chain of a PACStack-instrumented program,
+    authenticating every frame's stored [aret] step by step — the
+    libunwind extension the paper proposes for securing [longjmp] and C++
+    exceptions. Frame convention (emitted by the PACStack hardening pass):
+    [\[fp\] = caller FP], [\[fp+8\] = plain return address],
+    [\[fp-16\] = stored (masked) aret_{i-1}]. *)
+
+type frame = {
+  return_address : Pacstack_util.Word64.t;  (** authenticated ret_i *)
+  frame_pointer : Pacstack_util.Word64.t;
+  func : string option;  (** function containing the return address *)
+}
+
+type error = {
+  depth : int;  (** frames successfully validated before the failure *)
+  reason : string;
+}
+
+val backtrace :
+  ?masked:bool -> ?max_depth:int -> Machine.t -> (frame list, error) result
+(** Validates the whole chain starting from the live CR and FP registers.
+    [masked] (default true) matches the instrumentation variant. The list
+    is innermost-first. *)
+
+val unwind_to :
+  ?masked:bool -> ?max_depth:int -> Machine.t ->
+  target_sp:Pacstack_util.Word64.t ->
+  target_aret:Pacstack_util.Word64.t ->
+  (int, error) result
+(** Frame-by-frame validated [longjmp]: succeeds with the unwind depth iff
+    a validated frame matches both the target SP and the target [aret]
+    (the freshness check that defeats expired [jmp_buf] reuse, §9.1). *)
+
+val validated_longjmp :
+  ?masked:bool -> ?max_depth:int -> Machine.t ->
+  jmp_buf:Pacstack_util.Word64.t ->
+  value:Pacstack_util.Word64.t ->
+  (int, error) result
+(** The §9.1 proposal made executable: validates the whole chain down to
+    the environment saved in [jmp_buf] (layout of
+    {!Pacstack_harden.Runtime}), authenticates the buffer's bound return
+    address, and only then performs the non-local transfer — restoring the
+    callee-saved registers, SP and PC on the machine. Returns the unwound
+    depth; on any validation failure the machine is left untouched. *)

@@ -1,0 +1,1 @@
+lib/minic/check.ml: Ast Compile Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/minic/check.mli: Ast Format

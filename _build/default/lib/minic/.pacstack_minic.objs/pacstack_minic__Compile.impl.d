@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Exceptions Hashtbl Int64 List Pacstack_harden Pacstack_isa Peephole Printf

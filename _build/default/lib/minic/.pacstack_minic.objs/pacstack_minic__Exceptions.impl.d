@@ -1,0 +1,1 @@
+lib/minic/exceptions.ml: Ast Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+lib/minic/exceptions.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/parse.ml: Ast Hashtbl In_channel Int64 List Printf String

@@ -1,0 +1,77 @@
+type binop = Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int64
+  | Var of string
+  | Addr_local of string
+  | Addr_global of string
+  | Addr_func of string
+  | Load of expr
+  | Load_byte of expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Call_ptr of expr * expr list
+
+type cond = Rel of relop * expr * expr
+
+type stmt =
+  | Let of string * expr
+  | Store of expr * expr
+  | Store_byte of expr * expr
+  | Expr of expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Return of expr option
+  | Tail_call of string * expr list
+  | Setjmp of string * expr
+  | Longjmp of expr * expr
+  | Hook of string
+  | Print of expr
+  | Block of stmt list
+  | Halt of expr
+  | Try of stmt list * string * stmt list
+  | Throw of expr
+
+type local = Scalar of string | Array of string * int
+
+type fdef = {
+  fname : string;
+  params : string list;
+  locals : local list;
+  body : stmt list;
+}
+
+type program = {
+  globals : (string * int) list;
+  fundefs : fdef list;
+  main : string;
+}
+
+let fdef ?(params = []) ?(locals = []) fname body = { fname; params; locals; body }
+
+let program ?(globals = []) ?(main = "main") fundefs = { globals; fundefs; main }
+
+let rec expr_calls = function
+  | Int _ | Var _ | Addr_local _ | Addr_global _ | Addr_func _ -> false
+  | Load e | Load_byte e -> expr_calls e
+  | Binop (_, a, b) -> expr_calls a || expr_calls b
+  | Call _ | Call_ptr _ -> true
+
+let cond_calls (Rel (_, a, b)) = expr_calls a || expr_calls b
+
+let rec stmt_calls = function
+  | Let (_, e) | Expr e | Print e | Return (Some e) -> expr_calls e
+  | Store (a, b) | Store_byte (a, b) | Longjmp (a, b) -> expr_calls a || expr_calls b
+  | If (c, t, f) -> cond_calls c || calls_in_body t || calls_in_body f
+  | While (c, b) -> cond_calls c || calls_in_body b
+  | Return None | Hook _ -> false
+  | Tail_call _ | Setjmp _ -> true
+  | Block b -> calls_in_body b
+  | Halt e -> expr_calls e
+  | Try _ | Throw _ -> true  (* desugar to setjmp/longjmp *)
+
+and calls_in_body body = List.exists stmt_calls body
+
+let has_arrays f = List.exists (function Array _ -> true | Scalar _ -> false) f.locals

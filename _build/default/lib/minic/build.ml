@@ -1,0 +1,53 @@
+open Ast
+
+let i n = Int (Int64.of_int n)
+let i64 v = Int v
+let v s = Var s
+let addr s = Addr_local s
+let glob s = Addr_global s
+let fn s = Addr_func s
+let load e = Load e
+let load8 e = Load_byte e
+let idx arr e = Binop (Add, Addr_local arr, e)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( land ) a b = Binop (And, a, b)
+let ( lor ) a b = Binop (Or, a, b)
+let ( lxor ) a b = Binop (Xor, a, b)
+let ( lsl ) a b = Binop (Shl, a, b)
+let ( lsr ) a b = Binop (Shr, a, b)
+
+let call f args = Call (f, args)
+
+let ( == ) a b = Rel (Eq, a, b)
+let ( != ) a b = Rel (Ne, a, b)
+let ( < ) a b = Rel (Lt, a, b)
+let ( <= ) a b = Rel (Le, a, b)
+let ( > ) a b = Rel (Gt, a, b)
+let ( >= ) a b = Rel (Ge, a, b)
+
+let set x e = Let (x, e)
+let store a e = Store (a, e)
+let store8 a e = Store_byte (a, e)
+let expr e = Expr e
+let if_ c t f = If (c, t, f)
+let while_ c b = While (c, b)
+
+let for_ x ~from ~below body =
+  Block
+    [
+      Let (x, from);
+      While (Rel (Lt, Var x, below), body @ [ Let (x, Binop (Add, Var x, Int 1L)) ]);
+    ]
+
+let ret e = Return (Some e)
+
+let ret0 = Return None
+let print e = Print e
+let hook s = Hook s
+let halt e = Halt e
+let try_ body x handler = Try (body, x, handler)
+let throw e = Throw e

@@ -1,0 +1,61 @@
+(** Combinators for writing mini-C programs concisely. Workloads, examples
+    and tests construct their victim/benchmark programs with these. *)
+
+open Ast
+
+val i : int -> expr
+val i64 : int64 -> expr
+val v : string -> expr
+(** Variable reference. *)
+
+val addr : string -> expr
+(** Address of a local array. *)
+
+val glob : string -> expr
+(** Address of a global data object. *)
+
+val fn : string -> expr
+(** Function pointer. *)
+
+val load : expr -> expr
+val load8 : expr -> expr
+val idx : string -> expr -> expr
+(** [idx arr e] — address of byte [e] of local array [arr]. *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( land ) : expr -> expr -> expr
+val ( lor ) : expr -> expr -> expr
+val ( lxor ) : expr -> expr -> expr
+val ( lsl ) : expr -> expr -> expr
+val ( lsr ) : expr -> expr -> expr
+
+val call : string -> expr list -> expr
+
+val ( == ) : expr -> expr -> cond
+val ( != ) : expr -> expr -> cond
+val ( < ) : expr -> expr -> cond
+val ( <= ) : expr -> expr -> cond
+val ( > ) : expr -> expr -> cond
+val ( >= ) : expr -> expr -> cond
+
+val set : string -> expr -> stmt
+val store : expr -> expr -> stmt
+val store8 : expr -> expr -> stmt
+val expr : expr -> stmt
+val if_ : cond -> stmt list -> stmt list -> stmt
+val while_ : cond -> stmt list -> stmt
+val for_ : string -> from:expr -> below:expr -> stmt list -> stmt
+(** Counting loop over a scalar local. *)
+
+val ret : expr -> stmt
+val ret0 : stmt
+val print : expr -> stmt
+val hook : string -> stmt
+val halt : expr -> stmt
+val try_ : stmt list -> string -> stmt list -> stmt
+(** [try_ body x handler]. *)
+
+val throw : expr -> stmt

@@ -1,0 +1,174 @@
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  where : string;
+  message : string;
+}
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s: %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.where d.message
+
+let diag severity where fmt = Printf.ksprintf (fun message -> { severity; where; message }) fmt
+
+(* ---- expression/statement walkers ------------------------------------------ *)
+
+let rec expr_calls f (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Var _ | Ast.Addr_local _ | Ast.Addr_global _ | Ast.Addr_func _ -> ()
+  | Ast.Load e | Ast.Load_byte e -> expr_calls f e
+  | Ast.Binop (_, a, b) ->
+    expr_calls f a;
+    expr_calls f b
+  | Ast.Call (name, args) ->
+    f name (List.length args);
+    List.iter (expr_calls f) args
+  | Ast.Call_ptr (fe, args) ->
+    expr_calls f fe;
+    List.iter (expr_calls f) args
+
+let rec stmt_exprs f (s : Ast.stmt) =
+  match s with
+  | Ast.Let (_, e) | Ast.Expr e | Ast.Print e | Ast.Return (Some e) | Ast.Halt e | Ast.Throw e
+    -> f e
+  | Ast.Store (a, b) | Ast.Store_byte (a, b) | Ast.Longjmp (a, b) ->
+    f a;
+    f b
+  | Ast.Setjmp (_, e) -> f e
+  | Ast.Tail_call (_, args) -> List.iter f args
+  | Ast.If (Ast.Rel (_, a, b), t, fl) ->
+    f a;
+    f b;
+    List.iter (stmt_exprs f) t;
+    List.iter (stmt_exprs f) fl
+  | Ast.While (Ast.Rel (_, a, b), body) ->
+    f a;
+    f b;
+    List.iter (stmt_exprs f) body
+  | Ast.Try (body, _, handler) ->
+    List.iter (stmt_exprs f) body;
+    List.iter (stmt_exprs f) handler
+  | Ast.Block body -> List.iter (stmt_exprs f) body
+  | Ast.Return None | Ast.Hook _ -> ()
+
+let rec stmts f (s : Ast.stmt) =
+  f s;
+  match s with
+  | Ast.If (_, t, fl) ->
+    List.iter (stmts f) t;
+    List.iter (stmts f) fl
+  | Ast.While (_, body) | Ast.Block body -> List.iter (stmts f) body
+  | Ast.Try (body, _, handler) ->
+    List.iter (stmts f) body;
+    List.iter (stmts f) handler
+  | Ast.Let _ | Ast.Store _ | Ast.Store_byte _ | Ast.Expr _ | Ast.Return _ | Ast.Tail_call _
+  | Ast.Setjmp _ | Ast.Longjmp _ | Ast.Hook _ | Ast.Print _ | Ast.Halt _ | Ast.Throw _ -> ()
+
+let terminal = function
+  | Ast.Return _ | Ast.Halt _ | Ast.Tail_call _ | Ast.Throw _ -> true
+  | Ast.Let _ | Ast.Store _ | Ast.Store_byte _ | Ast.Expr _ | Ast.If _ | Ast.While _
+  | Ast.Setjmp _ | Ast.Longjmp _ | Ast.Hook _ | Ast.Print _ | Ast.Block _ | Ast.Try _ -> false
+
+let rec unreachable_in where acc = function
+  | [] -> acc
+  | s :: rest ->
+    let acc =
+      match s with
+      | Ast.If (_, t, fl) -> unreachable_in where (unreachable_in where acc t) fl
+      | Ast.While (_, b) | Ast.Block b -> unreachable_in where acc b
+      | Ast.Try (b, _, h) -> unreachable_in where (unreachable_in where acc b) h
+      | _ -> acc
+    in
+    if terminal s && rest <> [] then
+      diag Warning where "unreachable statements after a terminating statement" :: acc
+    else unreachable_in where acc rest
+
+(* reads of scalars never written anywhere in the function *)
+let uninitialised_reads (f : Ast.fdef) =
+  let scalars = Hashtbl.create 8 in
+  List.iter
+    (function Ast.Scalar s -> Hashtbl.replace scalars s () | Ast.Array _ -> ())
+    f.locals;
+  let written = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace written p ()) f.params;
+  List.iter
+    (stmts (function
+      | Ast.Let (x, _) | Ast.Setjmp (x, _) -> Hashtbl.replace written x ()
+      | Ast.Try (_, x, _) -> Hashtbl.replace written x ()
+      | _ -> ()))
+    f.body;
+  let read = Hashtbl.create 8 in
+  let rec expr_reads (e : Ast.expr) =
+    match e with
+    | Ast.Var x -> Hashtbl.replace read x ()
+    | Ast.Int _ | Ast.Addr_local _ | Ast.Addr_global _ | Ast.Addr_func _ -> ()
+    | Ast.Load e | Ast.Load_byte e -> expr_reads e
+    | Ast.Binop (_, a, b) ->
+      expr_reads a;
+      expr_reads b
+    | Ast.Call (_, args) -> List.iter expr_reads args
+    | Ast.Call_ptr (fe, args) ->
+      expr_reads fe;
+      List.iter expr_reads args
+  in
+  List.iter (stmt_exprs expr_reads) f.body;
+  Hashtbl.fold
+    (fun x () acc ->
+      if Hashtbl.mem scalars x && not (Hashtbl.mem written x) then
+        diag Warning f.fname "scalar %s is read but never assigned" x :: acc
+      else acc)
+    read []
+
+let program (p : Ast.program) =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  (* duplicate functions *)
+  let seen = Hashtbl.create 16 in
+  let arities = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.fdef) ->
+      if Hashtbl.mem seen f.fname then
+        add (diag Error "<program>" "function %s defined twice" f.fname);
+      Hashtbl.replace seen f.fname ();
+      Hashtbl.replace arities f.fname (List.length f.params))
+    p.fundefs;
+  List.iter
+    (fun (f : Ast.fdef) ->
+      (* arity of direct and tail calls against known definitions *)
+      let check_call name n =
+        match Hashtbl.find_opt arities name with
+        | Some arity when arity <> n ->
+          add (diag Error f.fname "call to %s with %d arguments, expected %d" name n arity)
+        | Some _ | None -> ()
+      in
+      List.iter (stmt_exprs (expr_calls check_call)) f.body;
+      List.iter
+        (stmts (function
+          | Ast.Tail_call (name, args) -> check_call name (List.length args)
+          | _ -> ()))
+        f.body;
+      (* handler shadowing a parameter *)
+      List.iter
+        (stmts (function
+          | Ast.Try (_, x, _) when List.mem x f.params ->
+            add (diag Error f.fname "catch variable %s shadows a parameter" x)
+          | _ -> ()))
+        f.body;
+      List.iter add (unreachable_in f.fname [] f.body);
+      List.iter add (uninitialised_reads f))
+    p.fundefs;
+  List.stable_sort
+    (fun a b ->
+      compare
+        (match a.severity with Error -> 0 | Warning -> 1)
+        (match b.severity with Error -> 0 | Warning -> 1))
+    (List.rev !acc)
+
+let errors p = List.filter (fun d -> d.severity = Error) (program p)
+
+let check_exn p =
+  match errors p with
+  | [] -> p
+  | d :: _ -> raise (Compile.Error (Format.asprintf "%a" pp_diagnostic d))

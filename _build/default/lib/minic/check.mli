@@ -1,0 +1,37 @@
+(** Static semantic checks for mini-C programs.
+
+    The code generator catches unknown variables and malformed frames;
+    this pass catches the mistakes that would otherwise produce silently
+    wrong code:
+
+    - calls to known functions with the wrong arity (arguments land in
+      whatever X0–X5 happen to hold);
+    - duplicate function definitions;
+    - statements after a [Return]/[Halt]/[Tail_call] in the same block
+      (unreachable);
+    - reads of scalar locals never assigned (uninitialised: they read as
+      whatever the stack slot holds);
+    - [Throw]/[Try] of a program whose handler variable shadows a
+      parameter.
+
+    {!Compile} does not run this automatically (some tests exercise the
+    unchecked paths); call {!program} from front ends. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  where : string;  (** function name, or "<program>" *)
+  message : string;
+}
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val program : Ast.program -> diagnostic list
+(** All diagnostics, errors first. *)
+
+val errors : Ast.program -> diagnostic list
+
+val check_exn : Ast.program -> Ast.program
+(** Returns the program unchanged if {!errors} is empty; raises
+    [Compile.Error] with the first error otherwise. *)

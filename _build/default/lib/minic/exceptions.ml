@@ -1,0 +1,90 @@
+let uncaught_exit_code = 125
+let exn_top_symbol = "__exn_top"
+let throw_symbol = "__throw"
+
+(* jmp_buf (128 bytes) plus one word chaining to the previous handler *)
+let try_buf_bytes = 136
+let prev_slot = 128
+
+let rec stmt_has_exn = function
+  | Ast.Try _ | Ast.Throw _ -> true
+  | Ast.If (_, t, f) -> body_has_exn t || body_has_exn f
+  | Ast.While (_, b) | Ast.Block b -> body_has_exn b
+  | Ast.Let _ | Ast.Store _ | Ast.Store_byte _ | Ast.Expr _ | Ast.Return _ | Ast.Tail_call _
+  | Ast.Setjmp _ | Ast.Longjmp _ | Ast.Hook _ | Ast.Print _ | Ast.Halt _ -> false
+
+and body_has_exn body = List.exists stmt_has_exn body
+
+let program_has_exn (p : Ast.program) = List.exists (fun f -> body_has_exn f.Ast.body) p.fundefs
+
+(* Rewrite one function: number its Try sites, collect synthesized locals. *)
+let desugar_fdef (f : Ast.fdef) =
+  let counter = ref 0 in
+  let extra_locals = ref [] in
+  let declared = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace declared p ()) f.params;
+  List.iter
+    (function Ast.Scalar s | Ast.Array (s, _) -> Hashtbl.replace declared s ())
+    f.locals;
+  let declare l =
+    let name = match l with Ast.Scalar s | Ast.Array (s, _) -> s in
+    if not (Hashtbl.mem declared name) then begin
+      Hashtbl.replace declared name ();
+      extra_locals := l :: !extra_locals
+    end
+  in
+  let rec stmt = function
+    | Ast.Try (body, x, handler) ->
+      let n = !counter in
+      incr counter;
+      let buf = Printf.sprintf "__try%d" n in
+      let r = Printf.sprintf "__try_r%d" n in
+      declare (Ast.Array (buf, try_buf_bytes));
+      declare (Ast.Scalar r);
+      declare (Ast.Scalar x);
+      let buf_addr = Ast.Addr_local buf in
+      let prev = Ast.Load (Ast.Binop (Ast.Add, buf_addr, Ast.Int (Int64.of_int prev_slot))) in
+      let pop = Ast.Store (Ast.Addr_global exn_top_symbol, prev) in
+      Ast.Block
+        [
+          (* remember the enclosing handler, arm ours, publish it *)
+          Ast.Store
+            ( Ast.Binop (Ast.Add, buf_addr, Ast.Int (Int64.of_int prev_slot)),
+              Ast.Load (Ast.Addr_global exn_top_symbol) );
+          Ast.Setjmp (r, buf_addr);
+          Ast.If
+            ( Ast.Rel (Ast.Eq, Ast.Var r, Ast.Int 0L),
+              (Ast.Store (Ast.Addr_global exn_top_symbol, buf_addr) :: List.map stmt body)
+              @ [ pop ],
+              pop :: Ast.Let (x, Ast.Var r) :: List.map stmt handler );
+        ]
+    | Ast.Throw e -> Ast.Expr (Ast.Call (throw_symbol, [ e ]))
+    | Ast.If (c, t, fl) -> Ast.If (c, List.map stmt t, List.map stmt fl)
+    | Ast.While (c, b) -> Ast.While (c, List.map stmt b)
+    | Ast.Block b -> Ast.Block (List.map stmt b)
+    | ( Ast.Let _ | Ast.Store _ | Ast.Store_byte _ | Ast.Expr _ | Ast.Return _ | Ast.Tail_call _
+      | Ast.Setjmp _ | Ast.Longjmp _ | Ast.Hook _ | Ast.Print _ | Ast.Halt _ ) as s -> s
+  in
+  let body = List.map stmt f.body in
+  { f with body; locals = f.locals @ List.rev !extra_locals }
+
+(* Raising: longjmp to the innermost live handler, or die loudly. *)
+let throw_fdef =
+  Ast.fdef throw_symbol ~params:[ "v" ] ~locals:[ Ast.Scalar "h" ]
+    [
+      Ast.Let ("h", Ast.Load (Ast.Addr_global exn_top_symbol));
+      Ast.If
+        ( Ast.Rel (Ast.Eq, Ast.Var "h", Ast.Int 0L),
+          [ Ast.Halt (Ast.Int (Int64.of_int uncaught_exit_code)) ],
+          [] );
+      Ast.Longjmp (Ast.Var "h", Ast.Var "v");
+    ]
+
+let desugar (p : Ast.program) =
+  if not (program_has_exn p) then p
+  else
+    {
+      p with
+      fundefs = List.map desugar_fdef p.fundefs @ [ throw_fdef ];
+      globals = p.globals @ [ (exn_top_symbol, 8) ];
+    }

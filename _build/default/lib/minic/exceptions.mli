@@ -1,0 +1,21 @@
+(** Desugaring of [Try]/[Throw] onto the setjmp/longjmp machinery.
+
+    Each [Try] gets a [jmp_buf] in its function's frame, chained through
+    the global [__exn_top] so the innermost active handler — possibly many
+    frames up the call stack — catches a [Throw]. Under the PACStack
+    schemes the resulting non-local transfers therefore go through the
+    Listing 4–5 wrappers, making this the C++-exception analogue the paper
+    discusses in §9.1.
+
+    An uncaught throw calls the synthesized [__uncaught_throw], which
+    terminates the program with {!uncaught_exit_code}. A thrown value of 0
+    arrives in the handler as 1 ([longjmp] semantics). *)
+
+val uncaught_exit_code : int
+
+val exn_top_symbol : string
+(** Global holding the address of the innermost live handler's buffer. *)
+
+val desugar : Ast.program -> Ast.program
+(** Rewrites every [Try]/[Throw]; programs without them are returned
+    unchanged. Idempotent. *)

@@ -1,0 +1,522 @@
+exception Error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Error (line, s))) fmt
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | STRING of string
+  | PUNCT of string  (* ( ) { } [ ] ; , = == != < <= > >= + - * / & | ^ << >> *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+let keywords =
+  [ "fn"; "global"; "var"; "array"; "if"; "else"; "while"; "for"; "return"; "print"; "halt";
+    "hook"; "try"; "catch"; "throw"; "tail"; "setjmp"; "longjmp"; "call"; "load8"; "store8" ]
+
+let is_keyword s = List.mem s keywords
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        i := !i + 2;
+        while !i < n && is_ident_char src.[!i] do
+          incr i
+        done
+      end
+      else
+        while !i < n && is_ident_char src.[!i] do
+          incr i
+        done;
+      let lit = String.sub src start (!i - start) in
+      match Int64.of_string_opt lit with
+      | Some v -> push (INT v)
+      | None -> fail !line "bad integer literal %S" lit
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && src.[!i] <> '"' do
+        if src.[!i] = '\n' then fail !line "unterminated string";
+        incr i
+      done;
+      if !i >= n then fail !line "unterminated string";
+      push (STRING (String.sub src start (!i - start)));
+      incr i
+    end
+    else begin
+      let two =
+        match c, peek 1 with
+        | '=', Some '=' -> Some "=="
+        | '!', Some '=' -> Some "!="
+        | '<', Some '=' -> Some "<="
+        | '>', Some '=' -> Some ">="
+        | '<', Some '<' -> Some "<<"
+        | '>', Some '>' -> Some ">>"
+        | _ -> None
+      in
+      match two with
+      | Some p ->
+        push (PUNCT p);
+        i := !i + 2
+      | None ->
+        (match c with
+        | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '<' | '>' | '+' | '-' | '*'
+        | '/' | '&' | '|' | '^' ->
+          push (PUNCT (String.make 1 c))
+        | _ -> fail !line "unexpected character %C" c);
+        incr i
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+(* --- parser state ----------------------------------------------------------- *)
+
+type state = {
+  mutable toks : lexed list;
+  globals : (string, unit) Hashtbl.t;
+  functions : (string, unit) Hashtbl.t;
+  (* per-function *)
+  mutable arrays : (string, unit) Hashtbl.t;
+  mutable decls : Ast.local list;  (* reversed *)
+  mutable declared : (string, unit) Hashtbl.t;
+}
+
+let here st = match st.toks with { line; _ } :: _ -> line | [] -> 0
+
+let peek st = match st.toks with { tok; _ } :: _ -> tok | [] -> EOF
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let token_to_string = function
+  | INT v -> Int64.to_string v
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | PUNCT p -> p
+  | EOF -> "<eof>"
+
+let expect st p =
+  match peek st with
+  | PUNCT q when q = p -> advance st
+  | t -> fail (here st) "expected %S, got %s" p (token_to_string t)
+
+let expect_ident st =
+  match peek st with
+  | IDENT s when not (is_keyword s) ->
+    advance st;
+    s
+  | t -> fail (here st) "expected identifier, got %s" (token_to_string t)
+
+let accept st p =
+  match peek st with
+  | PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek st with
+  | IDENT s when s = kw ->
+    advance st;
+    true
+  | _ -> false
+
+(* address of a named object, resolved against the current scopes *)
+let address_of st line name =
+  if Hashtbl.mem st.arrays name then Ast.Addr_local name
+  else if Hashtbl.mem st.globals name then Ast.Addr_global name
+  else if Hashtbl.mem st.functions name then Ast.Addr_func name
+  else fail line "unknown array, global or function %s" name
+
+let word_slot st line name idx =
+  Ast.Binop (Ast.Add, address_of st line name, Ast.Binop (Ast.Shl, idx, Ast.Int 3L))
+
+(* --- expressions -------------------------------------------------------------- *)
+
+let rec expr st = bitor st
+
+and binop_chain st sub table =
+  let lhs = ref (sub st) in
+  let rec go () =
+    match peek st with
+    | PUNCT p when List.mem_assoc p table ->
+      advance st;
+      let rhs = sub st in
+      lhs := Ast.Binop (List.assoc p table, !lhs, rhs);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and bitor st = binop_chain st bitxor [ ("|", Ast.Or) ]
+and bitxor st = binop_chain st bitand [ ("^", Ast.Xor) ]
+and bitand st = binop_chain st shift [ ("&", Ast.And) ]
+and shift st = binop_chain st additive [ ("<<", Ast.Shl); (">>", Ast.Shr) ]
+and additive st = binop_chain st mult [ ("+", Ast.Add); ("-", Ast.Sub) ]
+and mult st = binop_chain st unary [ ("*", Ast.Mul); ("/", Ast.Div) ]
+
+and unary st =
+  match peek st with
+  | PUNCT "*" ->
+    advance st;
+    Ast.Load (unary st)
+  | PUNCT "&" ->
+    advance st;
+    let line = here st in
+    let name = expect_ident st in
+    address_of st line name
+  | PUNCT "-" ->
+    advance st;
+    Ast.Binop (Ast.Sub, Ast.Int 0L, unary st)
+  | _ -> primary st
+
+and args st =
+  expect st "(";
+  if accept st ")" then []
+  else
+    let rec go acc =
+      let a = expr st in
+      if accept st "," then go (a :: acc)
+      else begin
+        expect st ")";
+        List.rev (a :: acc)
+      end
+    in
+    go []
+
+and primary st =
+  let line = here st in
+  match peek st with
+  | INT v ->
+    advance st;
+    Ast.Int v
+  | PUNCT "(" ->
+    advance st;
+    let e = expr st in
+    expect st ")";
+    e
+  | IDENT "load8" ->
+    advance st;
+    (match args st with
+    | [ a ] -> Ast.Load_byte a
+    | _ -> fail line "load8 expects one argument")
+  | IDENT "setjmp" ->
+    advance st;
+    fail line "setjmp may only appear as `x = setjmp(addr);`"
+  | IDENT "call" ->
+    advance st;
+    (match args st with
+    | f :: rest -> Ast.Call_ptr (f, rest)
+    | [] -> fail line "call expects a function pointer")
+  | IDENT name when not (is_keyword name) -> (
+    advance st;
+    match peek st with
+    | PUNCT "(" -> Ast.Call (name, args st)
+    | PUNCT "[" ->
+      advance st;
+      let idx = expr st in
+      expect st "]";
+      Ast.Load (word_slot st line name idx)
+    | _ -> Ast.Var name)
+  | t -> fail line "expected expression, got %s" (token_to_string t)
+
+let cond st =
+  let lhs = expr st in
+  let op =
+    match peek st with
+    | PUNCT "==" -> Ast.Eq
+    | PUNCT "!=" -> Ast.Ne
+    | PUNCT "<" -> Ast.Lt
+    | PUNCT "<=" -> Ast.Le
+    | PUNCT ">" -> Ast.Gt
+    | PUNCT ">=" -> Ast.Ge
+    | t -> fail (here st) "expected comparison operator, got %s" (token_to_string t)
+  in
+  advance st;
+  let rhs = expr st in
+  Ast.Rel (op, lhs, rhs)
+
+(* --- statements ------------------------------------------------------------------ *)
+
+let declare st line local =
+  let name = match local with Ast.Scalar s | Ast.Array (s, _) -> s in
+  if Hashtbl.mem st.declared name then fail line "duplicate declaration of %s" name;
+  Hashtbl.replace st.declared name ();
+  (match local with Ast.Array _ -> Hashtbl.replace st.arrays name () | Ast.Scalar _ -> ());
+  st.decls <- local :: st.decls
+
+(* assignment or expression statement, without the trailing ';' *)
+let rec simple_stmt st =
+  let line = here st in
+  match peek st with
+  | PUNCT "*" ->
+    advance st;
+    let addr = unary st in
+    expect st "=";
+    let v = expr st in
+    Ast.Store (addr, v)
+  | IDENT "store8" ->
+    advance st;
+    (match args st with
+    | [ a; v ] -> Ast.Store_byte (a, v)
+    | _ -> fail line "store8 expects (address, value)")
+  | IDENT name when not (is_keyword name) -> (
+    advance st;
+    match peek st with
+    | PUNCT "=" ->
+      advance st;
+      if accept_kw st "setjmp" then (
+        match args st with
+        | [ a ] -> Ast.Setjmp (name, a)
+        | _ -> fail line "setjmp expects one address")
+      else Ast.Let (name, expr st)
+    | PUNCT "[" ->
+      advance st;
+      let idx = expr st in
+      expect st "]";
+      expect st "=";
+      let v = expr st in
+      Ast.Store (word_slot st line name idx, v)
+    | PUNCT "(" -> Ast.Expr (Ast.Call (name, args st))
+    | t -> fail line "expected statement, got %s after %s" (token_to_string t) name)
+  | _ -> Ast.Expr (expr st)
+
+and stmt st =
+  let line = here st in
+  if accept_kw st "var" then begin
+    let name = expect_ident st in
+    expect st ";";
+    declare st line (Ast.Scalar name);
+    Ast.Block []
+  end
+  else if accept_kw st "array" then begin
+    let name = expect_ident st in
+    expect st "[";
+    let size =
+      match peek st with
+      | INT v ->
+        advance st;
+        Int64.to_int v
+      | t -> fail line "array size must be a literal, got %s" (token_to_string t)
+    in
+    expect st "]";
+    expect st ";";
+    declare st line (Ast.Array (name, size));
+    Ast.Block []
+  end
+  else if accept_kw st "if" then begin
+    expect st "(";
+    let c = cond st in
+    expect st ")";
+    let then_ = block st in
+    let else_ = if accept_kw st "else" then block st else [] in
+    Ast.If (c, then_, else_)
+  end
+  else if accept_kw st "while" then begin
+    expect st "(";
+    let c = cond st in
+    expect st ")";
+    Ast.While (c, block st)
+  end
+  else if accept_kw st "for" then begin
+    expect st "(";
+    let init = if peek st = PUNCT ";" then Ast.Block [] else simple_stmt st in
+    expect st ";";
+    let c = cond st in
+    expect st ";";
+    let step = if peek st = PUNCT ")" then Ast.Block [] else simple_stmt st in
+    expect st ")";
+    let body = block st in
+    Ast.Block [ init; Ast.While (c, body @ [ step ]) ]
+  end
+  else if accept_kw st "return" then
+    if accept st ";" then Ast.Return None
+    else begin
+      let e = expr st in
+      expect st ";";
+      Ast.Return (Some e)
+    end
+  else if accept_kw st "print" then begin
+    let a = args st in
+    expect st ";";
+    match a with [ e ] -> Ast.Print e | _ -> fail line "print expects one argument"
+  end
+  else if accept_kw st "halt" then begin
+    let a = args st in
+    expect st ";";
+    match a with [ e ] -> Ast.Halt e | _ -> fail line "halt expects one argument"
+  end
+  else if accept_kw st "hook" then begin
+    expect st "(";
+    let name =
+      match peek st with
+      | STRING s ->
+        advance st;
+        s
+      | t -> fail line "hook expects a string, got %s" (token_to_string t)
+    in
+    expect st ")";
+    expect st ";";
+    Ast.Hook name
+  end
+  else if accept_kw st "throw" then begin
+    let e = expr st in
+    expect st ";";
+    Ast.Throw e
+  end
+  else if accept_kw st "try" then begin
+    let body = block st in
+    if not (accept_kw st "catch") then fail (here st) "expected catch";
+    expect st "(";
+    let x = expect_ident st in
+    expect st ")";
+    declare st line (Ast.Scalar x);
+    let handler = block st in
+    Ast.Try (body, x, handler)
+  end
+  else if accept_kw st "tail" then begin
+    let f = expect_ident st in
+    let a = args st in
+    expect st ";";
+    Ast.Tail_call (f, a)
+  end
+  else if accept_kw st "longjmp" then begin
+    let a = args st in
+    expect st ";";
+    match a with
+    | [ buf; v ] -> Ast.Longjmp (buf, v)
+    | _ -> fail line "longjmp expects (buffer, value)"
+  end
+  else begin
+    let s = simple_stmt st in
+    expect st ";";
+    s
+  end
+
+and block st =
+  expect st "{";
+  let rec go acc =
+    if accept st "}" then List.rev acc
+    else if peek st = EOF then fail (here st) "unexpected end of input in block"
+    else go (stmt st :: acc)
+  in
+  go []
+
+(* --- top level ----------------------------------------------------------------- *)
+
+(* pre-scan for function and global names so forward references resolve *)
+let prescan st =
+  let rec go = function
+    | { tok = IDENT "fn"; _ } :: { tok = IDENT name; _ } :: rest ->
+      Hashtbl.replace st.functions name ();
+      go rest
+    | { tok = IDENT "global"; _ } :: { tok = IDENT name; _ } :: rest ->
+      Hashtbl.replace st.globals name ();
+      go rest
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go st.toks
+
+let fdef st =
+  let name = expect_ident st in
+  expect st "(";
+  let params =
+    if accept st ")" then []
+    else
+      let rec go acc =
+        let p = expect_ident st in
+        if accept st "," then go (p :: acc)
+        else begin
+          expect st ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+  in
+  st.arrays <- Hashtbl.create 8;
+  st.decls <- [];
+  st.declared <- Hashtbl.create 8;
+  List.iter (fun p -> Hashtbl.replace st.declared p ()) params;
+  let body = block st in
+  Ast.fdef name ~params ~locals:(List.rev st.decls) body
+
+let program src =
+  let st =
+    {
+      toks = lex src;
+      globals = Hashtbl.create 8;
+      functions = Hashtbl.create 8;
+      arrays = Hashtbl.create 8;
+      decls = [];
+      declared = Hashtbl.create 8;
+    }
+  in
+  prescan st;
+  let globals = ref [] in
+  let fundefs = ref [] in
+  let rec go () =
+    match peek st with
+    | EOF -> ()
+    | IDENT "fn" ->
+      advance st;
+      fundefs := fdef st :: !fundefs;
+      go ()
+    | IDENT "global" ->
+      advance st;
+      let line = here st in
+      let name = expect_ident st in
+      expect st "[";
+      let size =
+        match peek st with
+        | INT v ->
+          advance st;
+          Int64.to_int v
+        | t -> fail line "global size must be a literal, got %s" (token_to_string t)
+      in
+      expect st "]";
+      expect st ";";
+      globals := (name, size) :: !globals;
+      go ()
+    | t -> fail (here st) "expected fn or global, got %s" (token_to_string t)
+  in
+  go ();
+  if not (Hashtbl.mem st.functions "main") then fail 0 "no main function";
+  Ast.program ~globals:(List.rev !globals) (List.rev !fundefs)
+
+let from_file path =
+  program (In_channel.with_open_text path In_channel.input_all)

@@ -1,0 +1,46 @@
+(** Concrete syntax for mini-C.
+
+    A small C-flavoured language accepted by the CLI ([pacstack cc]) and
+    the tests:
+
+    {v
+    global buf[64];                 // 64 bytes of zeroed data
+
+    fn parse(c) {
+      var d;
+      if (c < 48) { throw 400; }
+      d = c - 48;
+      return d;
+    }
+
+    fn main() {
+      var k; var r; array tmp[32];  // stack buffer, 32 bytes
+      for (k = 48; k < 58; k = k + 1) {
+        try { r = parse(k); print(r); }
+        catch (e) { print(e); }
+      }
+      tmp[0] = r;                   // word-indexed array access
+      store8(&tmp + 1, 7);          // byte store builtin
+      return 0;
+    }
+    v}
+
+    Notes:
+    - [name\[e\]] reads/writes the 64-bit word at byte offset [8*e] of a
+      local array or global;
+    - [&name] takes the address of an array, global or function;
+    - [*e] dereferences a 64-bit pointer; [load8]/[store8] access bytes;
+    - builtins: [print(e)], [halt(e)], [hook("name")], [setjmp(e)],
+      [longjmp(e, v)], [call(fptr, args...)] for indirect calls,
+      [tail f(args)] for tail calls;
+    - conditions are comparisons ([== != < <= > >=]) of expressions;
+    - [var]/[array] declarations may appear anywhere in a block and are
+      hoisted to the function scope. *)
+
+exception Error of int * string
+(** Line number (1-based) and message. *)
+
+val program : string -> Ast.program
+(** Parses a full program; the entry point is [main]. *)
+
+val from_file : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/pa/config.ml: Format Option

@@ -1,0 +1,1 @@
+lib/pa/config.mli: Format

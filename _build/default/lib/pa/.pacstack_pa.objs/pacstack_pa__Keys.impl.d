@@ -1,0 +1,1 @@
+lib/pa/keys.ml: Format List Pacstack_qarma

@@ -1,0 +1,1 @@
+lib/pa/keys.mli: Format Pacstack_qarma Pacstack_util

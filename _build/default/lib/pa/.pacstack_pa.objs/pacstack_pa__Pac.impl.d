@@ -1,0 +1,1 @@
+lib/pa/pac.ml: Config Int64 Pacstack_qarma Pacstack_util Pointer

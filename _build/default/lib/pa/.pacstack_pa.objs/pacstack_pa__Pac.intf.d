@@ -1,0 +1,1 @@
+lib/pa/pac.mli: Config Pacstack_qarma Pacstack_util Pointer

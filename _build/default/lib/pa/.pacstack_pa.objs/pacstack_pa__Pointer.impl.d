@@ -1,0 +1,1 @@
+lib/pa/pointer.ml: Config Pacstack_util

@@ -1,0 +1,1 @@
+lib/pa/pointer.mli: Config Format Pacstack_util

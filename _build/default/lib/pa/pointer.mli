@@ -1,0 +1,31 @@
+(** Pointer layout operations: canonical form, PAC field embedding and the
+    architectural invalid-pointer encoding. *)
+
+type t = Pacstack_util.Word64.t
+(** A 64-bit pointer value, possibly carrying a PAC in its upper bits. *)
+
+val address : Config.t -> t -> t
+(** Low [va_size] bits: the virtual address with PAC and flags stripped.
+    This is the architectural [xpac] operation. *)
+
+val is_canonical : Config.t -> t -> bool
+(** True iff all bits at and above [va_size] are zero — the only pointers
+    the MMU will translate in our user-space model. *)
+
+val pac_field : Config.t -> t -> t
+(** The embedded PAC, right-aligned ([pac_bits] wide). *)
+
+val with_pac_field : Config.t -> t -> t -> t
+(** [with_pac_field cfg p v] embeds the low [pac_bits] bits of [v]. *)
+
+val set_error : Config.t -> t -> t
+(** [address] of the pointer with the well-known error bit set: the result
+    of a failed [aut]. *)
+
+val has_error : Config.t -> t -> bool
+
+val auth_split : Config.t -> t -> t * t
+(** [(pac_field, address)] — the paper's view of an authenticated return
+    address [aret = auth || ret]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/qarma/prf.ml: Int64 Pacstack_util Qarma64

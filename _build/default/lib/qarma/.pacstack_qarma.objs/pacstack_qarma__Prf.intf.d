@@ -1,0 +1,1 @@
+lib/qarma/prf.mli: Pacstack_util Qarma64

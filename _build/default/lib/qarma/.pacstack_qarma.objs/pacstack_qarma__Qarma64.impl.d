@@ -1,0 +1,1 @@
+lib/qarma/qarma64.ml: Array Format Int64 List Pacstack_util Sbox

@@ -1,0 +1,1 @@
+lib/qarma/qarma64.mli: Format Pacstack_util Sbox

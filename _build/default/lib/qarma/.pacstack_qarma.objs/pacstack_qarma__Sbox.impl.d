@@ -1,0 +1,1 @@
+lib/qarma/sbox.ml: Array Fun Pacstack_util

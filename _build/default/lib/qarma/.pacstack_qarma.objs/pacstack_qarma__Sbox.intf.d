@@ -1,0 +1,1 @@
+lib/qarma/sbox.mli: Pacstack_util

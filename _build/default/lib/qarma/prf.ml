@@ -1,0 +1,41 @@
+module Word64 = Pacstack_util.Word64
+module Rng = Pacstack_util.Rng
+
+type t =
+  | Qarma of { key : Qarma64.key; rounds : int }
+  | Fast of Word64.t
+
+let create ?(rounds = Qarma64.default_rounds) key = Qarma { key; rounds }
+let create_fast secret = Fast secret
+
+let of_rng ?(fast = false) ?rounds rng =
+  if fast then Fast (Rng.next64 rng)
+  else create ?rounds (Qarma64.random_key rng)
+
+(* SplitMix64 finalizer: a high-quality 64-bit mixer. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mac64 t ~data ~modifier =
+  match t with
+  | Qarma { key; rounds } -> Qarma64.encrypt ~rounds key ~tweak:modifier data
+  | Fast secret ->
+    (* Two dependent mixing rounds bind data, modifier and key. *)
+    let a = mix (Int64.logxor data secret) in
+    let b = mix (Int64.logxor modifier (Int64.add secret 0x9e3779b97f4a7c15L)) in
+    mix (Int64.logxor a (Word64.rotl b 17))
+
+let mac t ~bits ~data ~modifier =
+  if bits < 1 || bits > 32 then invalid_arg "Prf.mac: bits";
+  Int64.logand (mac64 t ~data ~modifier) (Word64.mask bits)
+
+let key = function Qarma { key; _ } -> Some key | Fast _ -> None
+
+let equal a b =
+  match a, b with
+  | Qarma { key = k1; rounds = r1 }, Qarma { key = k2; rounds = r2 } ->
+    Qarma64.key_equal k1 k2 && r1 = r2
+  | Fast s1, Fast s2 -> Word64.equal s1 s2
+  | Qarma _, Fast _ | Fast _, Qarma _ -> false

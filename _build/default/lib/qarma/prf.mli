@@ -1,0 +1,38 @@
+(** The tweakable MAC [H_k] used throughout the paper.
+
+    [H_k(P, M)] is a keyed function of a 64-bit pointer value [P] and a
+    64-bit modifier [M]. Two interchangeable instantiations are provided:
+
+    - {!create}: truncated QARMA-64 ciphertext of [P] under tweak [M] — the
+      construction ARMv8.3-A pointer authentication uses. The reference
+      instantiation.
+    - {!create_fast}: a keyed SplitMix-style mixer. The paper's security
+      analysis models [H_k] as a random oracle, so statistical experiments
+      that need millions of evaluations may use this instantiation without
+      affecting any measured quantity (cycle costs are independent of MAC
+      values). *)
+
+type t
+
+val create : ?rounds:int -> Qarma64.key -> t
+(** QARMA-backed MAC; [rounds] defaults to [Qarma64.default_rounds]. *)
+
+val create_fast : Pacstack_util.Word64.t -> t
+(** Mixer-backed MAC keyed by a 64-bit secret. *)
+
+val of_rng : ?fast:bool -> ?rounds:int -> Pacstack_util.Rng.t -> t
+(** Fresh random key drawn from the generator; [fast] defaults to
+    [false]. *)
+
+val mac64 : t -> data:Pacstack_util.Word64.t -> modifier:Pacstack_util.Word64.t -> Pacstack_util.Word64.t
+(** Full 64-bit MAC output. *)
+
+val mac : t -> bits:int -> data:Pacstack_util.Word64.t -> modifier:Pacstack_util.Word64.t -> Pacstack_util.Word64.t
+(** [mac t ~bits ~data ~modifier] is the [bits]-bit authentication token
+    (the low [bits] bits of {!mac64}), [1 <= bits <= 32]. *)
+
+val key : t -> Qarma64.key option
+(** The QARMA key, when QARMA-backed. *)
+
+val equal : t -> t -> bool
+(** Key-material equality. *)

@@ -1,0 +1,167 @@
+module Word64 = Pacstack_util.Word64
+module Rng = Pacstack_util.Rng
+
+type key = { w0 : Word64.t; k0 : Word64.t }
+
+let key ~w0 ~k0 = { w0; k0 }
+let random_key rng = { w0 = Rng.next64 rng; k0 = Rng.next64 rng }
+let key_equal a b = Word64.equal a.w0 b.w0 && Word64.equal a.k0 b.k0
+let pp_key fmt k = Format.fprintf fmt "(w0=%a k0=%a)" Word64.pp k.w0 Word64.pp k.k0
+
+let default_rounds = 7
+
+let alpha = 0xC0AC29B7C97C50DDL
+
+let round_constants =
+  [|
+    0x0000000000000000L;
+    0x13198A2E03707344L;
+    0xA4093822299F31D0L;
+    0x082EFA98EC4E6C89L;
+    0x452821E638D01377L;
+    0xBE5466CF34E90C6CL;
+    0x3F84D5B5B5470917L;
+    0x9216D5D98979FB1BL;
+  |]
+
+let round_constant i =
+  if i < 0 || i >= Array.length round_constants then invalid_arg "Qarma64.round_constant"
+  else round_constants.(i)
+
+(* Cell shuffle τ and tweak-cell permutation h, as in the QARMA
+   specification; [perm.(i)] is the index of the input cell that lands in
+   output cell [i]. *)
+let tau_perm = [| 0; 11; 6; 13; 10; 1; 12; 7; 5; 14; 3; 8; 15; 4; 9; 2 |]
+let h_perm = [| 6; 5; 14; 15; 0; 1; 2; 3; 7; 12; 13; 4; 8; 9; 10; 11 |]
+
+let invert_perm p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) p;
+  inv
+
+let tau_inv_perm = invert_perm tau_perm
+let h_inv_perm = invert_perm h_perm
+
+let permute_cells perm w =
+  let cells = Word64.to_nibbles w in
+  Word64.of_nibbles (Array.map (fun src -> cells.(src)) perm)
+
+let tau = permute_cells tau_perm
+let tau_inv = permute_cells tau_inv_perm
+
+(* 4-bit rotation left. *)
+let rho4 x n =
+  let n = n land 3 in
+  ((x lsl n) lor (x lsr (4 - n))) land 0xf
+
+(* M = circ(0, ρ, ρ², ρ) applied column-wise to the 4×4 cell array
+   (row-major, cell 0 top-left). M is involutory, so it is its own
+   inverse. *)
+let mix_columns w =
+  let cells = Word64.to_nibbles w in
+  let out = Array.make 16 0 in
+  for col = 0 to 3 do
+    for row = 0 to 3 do
+      let acc = ref 0 in
+      for src = 0 to 3 do
+        let d = (src - row + 4) land 3 in
+        if d <> 0 then begin
+          let e = if d = 2 then 2 else 1 in
+          acc := !acc lxor rho4 cells.((src * 4) + col) e
+        end
+      done;
+      out.((row * 4) + col) <- !acc
+    done
+  done;
+  Word64.of_nibbles out
+
+(* LFSR ω on a 4-bit cell: (b3,b2,b1,b0) -> (b0 xor b1, b3, b2, b1). *)
+let omega x =
+  let b0 = x land 1 and b1 = (x lsr 1) land 1 in
+  ((b0 lxor b1) lsl 3) lor (x lsr 1)
+
+let omega_inv x =
+  let b3 = (x lsr 3) land 1 and b0 = x land 1 in
+  (((x land 7) lsl 1) lor (b3 lxor b0)) land 0xf
+
+(* Tweak cells refreshed by the LFSR on each update. *)
+let lfsr_cells = [ 0; 1; 3; 4 ]
+
+let apply_lfsr f w =
+  List.fold_left (fun acc i -> Word64.set_nibble acc i (f (Word64.nibble acc i))) w lfsr_cells
+
+let tweak_forward t = apply_lfsr omega (permute_cells h_perm t)
+let tweak_backward t = permute_cells h_inv_perm (apply_lfsr omega_inv t)
+
+(* One forward round: add tweakey, then (unless short) shuffle and mix,
+   then substitute. The backward round is the exact inverse. *)
+let forward_round sbox s tk ~short =
+  let s = Int64.logxor s tk in
+  let s = if short then s else mix_columns (tau s) in
+  Sbox.sub_cells sbox s
+
+let backward_round sbox s tk ~short =
+  let s = Sbox.sub_cells_inv sbox s in
+  let s = if short then s else tau_inv (mix_columns s) in
+  Int64.logxor s tk
+
+(* Orthomorphism used to derive the second whitening key. *)
+let ortho w = Int64.logxor (Word64.rotr w 1) (Int64.shift_right_logical w 63)
+
+let check_rounds rounds =
+  if rounds < 1 || rounds > Array.length round_constants then invalid_arg "Qarma64: rounds"
+
+(* Tweak values t_0 .. t_rounds; forward round i and backward round i both
+   use t_i, the centre uses t_rounds. *)
+let tweak_schedule ~rounds tweak =
+  let ts = Array.make (rounds + 1) tweak in
+  for i = 1 to rounds do
+    ts.(i) <- tweak_forward ts.(i - 1)
+  done;
+  ts
+
+let encrypt ?(rounds = default_rounds) ?(sbox = Sbox.sigma1) key ~tweak p =
+  check_rounds rounds;
+  let { w0; k0 } = key in
+  let w1 = ortho w0 in
+  let k1 = k0 in
+  let ts = tweak_schedule ~rounds tweak in
+  let s = ref (Int64.logxor p w0) in
+  for i = 0 to rounds - 1 do
+    s := forward_round sbox !s (Int64.logxor k0 (Int64.logxor ts.(i) round_constants.(i))) ~short:(i = 0)
+  done;
+  (* centre: forward half-round, pseudo-reflector, backward half-round *)
+  s := forward_round sbox !s (Int64.logxor w1 ts.(rounds)) ~short:false;
+  s := tau !s;
+  s := mix_columns !s;
+  s := Int64.logxor !s k1;
+  s := tau_inv !s;
+  s := backward_round sbox !s (Int64.logxor w0 ts.(rounds)) ~short:false;
+  for i = rounds - 1 downto 0 do
+    let tk = Int64.logxor (Int64.logxor k0 alpha) (Int64.logxor ts.(i) round_constants.(i)) in
+    s := backward_round sbox !s tk ~short:(i = 0)
+  done;
+  Int64.logxor !s w1
+
+let decrypt ?(rounds = default_rounds) ?(sbox = Sbox.sigma1) key ~tweak c =
+  check_rounds rounds;
+  let { w0; k0 } = key in
+  let w1 = ortho w0 in
+  let k1 = k0 in
+  let ts = tweak_schedule ~rounds tweak in
+  let s = ref (Int64.logxor c w1) in
+  for i = 0 to rounds - 1 do
+    let tk = Int64.logxor (Int64.logxor k0 alpha) (Int64.logxor ts.(i) round_constants.(i)) in
+    s := forward_round sbox !s tk ~short:(i = 0)
+  done;
+  s := forward_round sbox !s (Int64.logxor w0 ts.(rounds)) ~short:false;
+  (* inverse of the pseudo-reflector: τ, ⊕k1, M (self-inverse), τ⁻¹ *)
+  s := tau !s;
+  s := Int64.logxor !s k1;
+  s := mix_columns !s;
+  s := tau_inv !s;
+  s := backward_round sbox !s (Int64.logxor w1 ts.(rounds)) ~short:false;
+  for i = rounds - 1 downto 0 do
+    s := backward_round sbox !s (Int64.logxor k0 (Int64.logxor ts.(i) round_constants.(i))) ~short:(i = 0)
+  done;
+  Int64.logxor !s w0

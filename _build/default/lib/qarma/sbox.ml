@@ -1,0 +1,35 @@
+module Word64 = Pacstack_util.Word64
+
+type t = { fwd : int array; inv : int array }
+
+let make fwd =
+  assert (Array.length fwd = 16);
+  let inv = Array.make 16 (-1) in
+  Array.iteri (fun i v -> inv.(v) <- i) fwd;
+  assert (not (Array.exists (fun v -> v < 0) inv));
+  { fwd; inv }
+
+let sigma0 = make [| 0; 14; 2; 10; 9; 15; 8; 11; 6; 4; 3; 7; 13; 12; 1; 5 |]
+let sigma1 = make [| 10; 13; 14; 6; 15; 7; 3; 5; 9; 8; 0; 12; 11; 1; 2; 4 |]
+let sigma2 = make [| 11; 6; 8; 15; 12; 0; 9; 14; 3; 7; 4; 5; 13; 2; 1; 10 |]
+
+let check x = if x < 0 || x > 15 then invalid_arg "Sbox.apply"
+
+let apply t x = check x; t.fwd.(x)
+let apply_inv t x = check x; t.inv.(x)
+
+let map_cells f w =
+  let rec go i acc = if i > 15 then acc else go (i + 1) (Word64.set_nibble acc i (f (Word64.nibble w i))) in
+  go 0 w
+
+let sub_cells t w = map_cells (fun x -> t.fwd.(x)) w
+let sub_cells_inv t w = map_cells (fun x -> t.inv.(x)) w
+
+let is_permutation t =
+  let seen = Array.make 16 false in
+  Array.iter (fun v -> seen.(v) <- true) t.fwd;
+  Array.for_all Fun.id seen
+
+let is_involution t =
+  let rec go i = i > 15 || (t.fwd.(t.fwd.(i)) = i && go (i + 1)) in
+  go 0

@@ -1,0 +1,24 @@
+(** The three 4-bit substitution boxes of the QARMA family.
+
+    [sigma0] is an involution used in the lightweight variant, [sigma1] is
+    the recommended S-box, [sigma2] the stronger alternative. *)
+
+type t
+
+val sigma0 : t
+val sigma1 : t
+val sigma2 : t
+
+val apply : t -> int -> int
+(** [apply s x] substitutes the 4-bit value [x]; raises [Invalid_argument]
+    if [x] is outside [0, 15]. *)
+
+val apply_inv : t -> int -> int
+
+val sub_cells : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t
+(** Applies the S-box to all 16 cells of a block. *)
+
+val sub_cells_inv : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t
+
+val is_involution : t -> bool
+val is_permutation : t -> bool

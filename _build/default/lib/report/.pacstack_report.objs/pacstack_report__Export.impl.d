@@ -1,0 +1,1 @@
+lib/report/export.ml: Filename Format List Out_channel Pacstack_acs Pacstack_attacker Pacstack_harden Pacstack_machine Pacstack_minic Pacstack_util Pacstack_workloads Printf String Sys

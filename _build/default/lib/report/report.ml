@@ -1,0 +1,388 @@
+module Rng = Pacstack_util.Rng
+module Stats = Pacstack_util.Stats
+module Word64 = Pacstack_util.Word64
+module Analysis = Pacstack_acs.Analysis
+module Games = Pacstack_acs.Games
+module Scheme = Pacstack_harden.Scheme
+module Speclike = Pacstack_workloads.Speclike
+module Server = Pacstack_workloads.Server
+module Confirm = Pacstack_workloads.Confirm
+module Scenarios = Pacstack_workloads.Scenarios
+module Adversary = Pacstack_attacker.Adversary
+module Reuse = Pacstack_attacker.Reuse
+module Gadget = Pacstack_attacker.Gadget
+module Sigreturn = Pacstack_attacker.Sigreturn
+module Bruteforce = Pacstack_attacker.Bruteforce
+module Kernel = Pacstack_machine.Kernel
+module Machine = Pacstack_machine.Machine
+module Unwind = Pacstack_machine.Unwind
+module Compile = Pacstack_minic.Compile
+
+let section fmt title = Format.fprintf fmt "@.=== %s ===@." title
+
+(* --- Table 1 ----------------------------------------------------------- *)
+
+let table1 ?(seed = 1L) fmt =
+  section fmt "Table 1: max success probability of call-stack integrity violations";
+  let rng = Rng.create seed in
+  let cells =
+    [
+      (Analysis.On_graph, false, 8, 20_000);
+      (Analysis.On_graph, true, 8, 60_000);
+      (Analysis.Off_graph_to_call_site, false, 8, 200_000);
+      (Analysis.Off_graph_to_call_site, true, 8, 200_000);
+      (Analysis.Off_graph_arbitrary, false, 5, 400_000);
+      (Analysis.Off_graph_arbitrary, true, 5, 400_000);
+    ]
+  in
+  Format.fprintf fmt "%-34s %-8s %-6s %-12s %-12s@." "violation" "masking" "b" "paper(theory)"
+    "measured";
+  List.iter
+    (fun (kind, masked, bits, trials) ->
+      let theory = Analysis.table1_success_probability ~masked kind ~bits in
+      let est = Games.violation_success ~masked ~kind ~bits ~harvest:600 ~trials rng in
+      Format.fprintf fmt "%-34s %-8b %-6d %-12.2e %-12.2e@."
+        (Format.asprintf "%a" Analysis.pp_violation_kind kind)
+        masked bits theory est.Games.rate)
+    cells
+
+(* --- Table 2 / Figure 5 ------------------------------------------------ *)
+
+let schemes_measured =
+  [ Scheme.pacstack; Scheme.pacstack_nomask; Scheme.Shadow_stack; Scheme.Branch_protection;
+    Scheme.Stack_protector ]
+
+(* geometric mean of (1 + overhead) ratios, reported back as a percentage *)
+let geomean_overhead per_bench =
+  (Stats.geometric_mean (List.map (fun oh -> 1.0 +. (oh /. 100.0)) per_bench) -. 1.0) *. 100.0
+
+let spec_overheads variant =
+  List.map
+    (fun bench ->
+      let baseline = Speclike.measure ~scheme:Scheme.Unprotected variant bench in
+      let per_scheme =
+        List.map
+          (fun scheme ->
+            let m = Speclike.measure ~scheme variant bench in
+            if not (Int64.equal m.Speclike.checksum baseline.Speclike.checksum) then
+              failwith (bench.Speclike.name ^ ": checksum mismatch under " ^ Scheme.to_string scheme);
+            (scheme, Speclike.overhead_pct ~baseline m))
+          schemes_measured
+      in
+      (bench.Speclike.name, per_scheme))
+    Speclike.all
+
+let paper_table2 = function
+  | Scheme.Pacstack { masked = true } -> (2.75, 3.28)
+  | Scheme.Pacstack { masked = false } -> (0.86, 1.56)
+  | Scheme.Shadow_stack -> (0.85, 0.77)
+  | Scheme.Branch_protection -> (0.43, 0.72)
+  | Scheme.Stack_protector -> (0.43, 0.25)
+  | Scheme.Unprotected -> (0.0, 0.0)
+
+(* measured calls per 1000 instructions of the baseline build — the
+   paper's §7.1 "overhead is proportional to call frequency" evidence *)
+let call_density bench =
+  let program = Compile.compile ~scheme:Scheme.Unprotected (bench.Speclike.program Speclike.Rate) in
+  let m = Machine.load program in
+  let profile = Pacstack_machine.Profile.attach m in
+  (match Machine.run ~fuel:100_000_000 m with
+  | Machine.Halted 0 -> ()
+  | _ -> failwith (bench.Speclike.name ^ ": profiling run failed"));
+  Pacstack_machine.Profile.call_density profile
+
+let table2_and_figure5 fmt =
+  let rate = spec_overheads Speclike.Rate in
+  let speed = spec_overheads Speclike.Speed in
+  section fmt "Figure 5: per-benchmark overhead w.r.t. baseline (%%, SPECrate-like)";
+  Format.fprintf fmt "%-12s %10s" "benchmark" "calls/ki";
+  List.iter (fun s -> Format.fprintf fmt " %18s" (Scheme.to_string s)) schemes_measured;
+  Format.fprintf fmt "@.";
+  List.iter2
+    (fun bench (name, per_scheme) ->
+      Format.fprintf fmt "%-12s %10.1f" name (call_density bench);
+      List.iter (fun (_, oh) -> Format.fprintf fmt " %17.2f%%" oh) per_scheme;
+      Format.fprintf fmt "@.")
+    Speclike.all rate;
+  section fmt "Table 2: geometric mean of overheads";
+  Format.fprintf fmt "%-24s %14s %14s %20s@." "scheme" "SPECrate" "SPECspeed"
+    "paper (rate/speed)";
+  List.iter
+    (fun scheme ->
+      let mean_of table =
+        geomean_overhead (List.map (fun (_, per) -> List.assoc scheme per) table)
+      in
+      let p_rate, p_speed = paper_table2 scheme in
+      Format.fprintf fmt "%-24s %13.2f%% %13.2f%% %11.2f%%/%.2f%%@." (Scheme.to_string scheme)
+        (mean_of rate) (mean_of speed) p_rate p_speed)
+    schemes_measured;
+  (* the paper reports the C++ benchmarks separately: 2.0 %% masked,
+     0.9 %% unmasked *)
+  let cpp_mean scheme =
+    geomean_overhead
+      (List.map
+         (fun bench ->
+           let baseline = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate bench in
+           Speclike.overhead_pct ~baseline (Speclike.measure ~scheme Speclike.Rate bench))
+         Speclike.cpp)
+  in
+  Format.fprintf fmt "@.C++-like benchmarks (omnetpp, leela, xalancbmk):@.";
+  Format.fprintf fmt "  pacstack        %5.2f%%  (paper 2.0%%)@." (cpp_mean Scheme.pacstack);
+  Format.fprintf fmt "  pacstack-nomask %5.2f%%  (paper 0.9%%)@."
+    (cpp_mean Scheme.pacstack_nomask)
+
+(* --- Table 3 ------------------------------------------------------------ *)
+
+let table3 fmt =
+  section fmt "Table 3: SSL transactions per second (NGINX-style server)";
+  Format.fprintf fmt "%-8s %-18s %12s %8s %10s %18s@." "workers" "scheme" "req/s" "sigma"
+    "overhead" "paper req/s (oh)";
+  let paper = function
+    | 4, Scheme.Unprotected -> "14.2k"
+    | 4, Scheme.Pacstack { masked = false } -> "13.7k (3.5%)"
+    | 4, Scheme.Pacstack { masked = true } -> "13.5k (4.9%)"
+    | 8, Scheme.Unprotected -> "30.7k"
+    | 8, Scheme.Pacstack { masked = false } -> "28.6k (6.8%)"
+    | 8, Scheme.Pacstack { masked = true } -> "27.2k (11.4%)"
+    | _ -> "-"
+  in
+  List.iter
+    (fun workers ->
+      let baseline = Server.measure ~scheme:Scheme.Unprotected ~workers () in
+      List.iter
+        (fun scheme ->
+          let r =
+            if Scheme.equal scheme Scheme.Unprotected then baseline
+            else Server.measure ~scheme ~workers ()
+          in
+          Format.fprintf fmt "%-8d %-18s %11.1fk %8.0f %9.1f%% %18s@." workers
+            (Scheme.to_string scheme)
+            (r.Server.req_per_sec /. 1000.0)
+            r.Server.sigma
+            (Server.overhead_pct ~baseline r)
+            (paper (workers, scheme)))
+        [ Scheme.Unprotected; Scheme.pacstack_nomask; Scheme.pacstack ])
+    [ 4; 8 ]
+
+(* --- security experiments ---------------------------------------------- *)
+
+let reuse_matrix fmt =
+  section fmt "Reuse attacks on the Listing 6 victim (paper 6.1)";
+  Format.fprintf fmt "%-26s" "strategy \\ scheme";
+  List.iter (fun s -> Format.fprintf fmt " %22s" (Scheme.to_string s)) Scheme.all;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun (strategy, row) ->
+      Format.fprintf fmt "%-26s" (Reuse.strategy_to_string strategy);
+      List.iter
+        (fun (_, outcome) -> Format.fprintf fmt " %22s" (Adversary.outcome_to_string outcome))
+        row;
+      Format.fprintf fmt "@.")
+    (Reuse.matrix ())
+
+let birthday ?(seed = 2L) fmt =
+  section fmt "Collisions (paper 6.2.1) and mask hiding (Appendix A)";
+  let rng = Rng.create seed in
+  let measured = Games.birthday_harvest ~bits:16 ~trials:400 rng in
+  Format.fprintf fmt "tokens harvested until PAC collision (b=16): measured %.1f, paper ~%.1f@."
+    measured
+    (Analysis.collision_harvest_mean ~bits:16);
+  let adv = Games.mask_distinguisher_advantage ~bits:12 ~queries:256 ~trials:3000 rng in
+  Format.fprintf fmt
+    "mask distinguisher advantage (b=12, 256 queries): %.4f (theory: negligible)@." adv;
+  let th = Games.theorem1_check ~bits:10 ~queries:128 ~trials:3000 rng in
+  Format.fprintf fmt
+    "Theorem 1 (Appendix A): collision adv %.4f <= 2 x distinguisher adv + slack = %.4f: %b@."
+    th.Games.collision_advantage th.Games.bound th.Games.holds
+
+let bruteforce ?(seed = 3L) fmt =
+  section fmt "Brute-force guessing (paper 4.3)";
+  let rng = Rng.create seed in
+  Format.fprintf fmt "%-38s %-6s %12s %12s@." "strategy" "b" "measured" "expected";
+  List.iter
+    (fun (strategy, bits, trials, expected) ->
+      let mean = Games.guessing_mean ~strategy ~bits ~trials rng in
+      Format.fprintf fmt "%-38s %-6d %12.0f %12.0f@."
+        (Format.asprintf "%a" Games.pp_guess_strategy strategy)
+        bits mean expected)
+    [
+      (Games.Divide_and_conquer, 8, 4000, Analysis.guesses_divide_and_conquer ~bits:8);
+      (Games.Reseeded, 8, 4000, Analysis.guesses_reseeded ~bits:8);
+      (Games.Independent, 6, 600, Analysis.guesses_independent ~bits:6);
+    ];
+  let r = Bruteforce.run ~pac_bits:6 ~trials:15 ~seed () in
+  Format.fprintf fmt
+    "end-to-end forked-sibling attack (machine, b=%d): %.0f guesses/success (geometric mean expectation %.0f)@."
+    r.Bruteforce.pac_bits r.Bruteforce.mean_guesses r.Bruteforce.expected
+
+let gadget fmt =
+  section fmt "PA signing gadget (paper 6.3.1)";
+  let rng = Rng.create 4L in
+  let prf = Pacstack_qarma.Prf.of_rng ~fast:true rng in
+  let cfg = Pacstack_pa.Config.default in
+  Format.fprintf fmt "aut;pac gadget forges a valid PAC for an arbitrary pointer: %b@."
+    (Gadget.gadget_forges_valid_pointer cfg prf ~target:0x1234_5678L ~modifier:0xabcdL);
+  Format.fprintf fmt "gadget-forged aret injected across a tail call (PACStack):        %s@."
+    (Adversary.outcome_to_string (Gadget.tail_call_attack ~masked:true));
+  Format.fprintf fmt "gadget-forged aret injected across a tail call (PACStack-nomask): %s@."
+    (Adversary.outcome_to_string (Gadget.tail_call_attack ~masked:false))
+
+let sigreturn fmt =
+  section fmt "Sigreturn-oriented programming (paper 6.3.2, Appendix B)";
+  Format.fprintf fmt "benign signal round-trip, unprotected kernel: %b@."
+    (Sigreturn.benign_roundtrip ~policy:Kernel.Sig_unprotected);
+  Format.fprintf fmt "benign signal round-trip, asigret-chained kernel: %b@."
+    (Sigreturn.benign_roundtrip ~policy:Kernel.Sig_chained);
+  Format.fprintf fmt "forged sigreturn frame, unprotected kernel: %s@."
+    (Adversary.outcome_to_string (Sigreturn.attack ~policy:Kernel.Sig_unprotected ()));
+  Format.fprintf fmt "forged sigreturn frame, asigret-chained kernel: %s@."
+    (Adversary.outcome_to_string (Sigreturn.attack ~policy:Kernel.Sig_chained ()));
+  Format.fprintf fmt "forged sigreturn frame, full-register pacga chain: %s@."
+    (Adversary.outcome_to_string (Sigreturn.attack ~policy:Kernel.Sig_chained_full ()))
+
+let unwind_demo fmt =
+  section fmt "ACS-validated unwinding (paper 9.1)";
+  let depth = 6 in
+  let program = Compile.compile ~scheme:Scheme.pacstack (Scenarios.unwind_victim ~depth) in
+  let m = Machine.load program in
+  let report = ref [] in
+  Machine.attach_hook m "deep" (fun m ->
+      let jb = Option.get (Adversary.symbol m "jb") in
+      let target_aret = Option.get (Adversary.read m (Int64.add jb 72L)) in
+      let target_sp = Option.get (Adversary.read m (Int64.add jb 96L)) in
+      (match Unwind.backtrace m with
+      | Ok frames ->
+        report := Printf.sprintf "validated backtrace: %d frames" (List.length frames) :: !report
+      | Error e -> report := Printf.sprintf "backtrace failed at depth %d: %s" e.Unwind.depth e.Unwind.reason :: !report);
+      (match Unwind.unwind_to m ~target_sp ~target_aret with
+      | Ok d -> report := Printf.sprintf "validated longjmp target found after %d frames" d :: !report
+      | Error e -> report := Printf.sprintf "validated longjmp refused: %s" e.Unwind.reason :: !report);
+      (match Unwind.unwind_to m ~target_sp ~target_aret:(Int64.logxor target_aret 0xff0000000000L) with
+      | Ok d -> report := Printf.sprintf "FORGED target accepted after %d frames (BAD)" d :: !report
+      | Error e ->
+        report := Printf.sprintf "forged longjmp target rejected: %s" e.Unwind.reason :: !report);
+      (* the 9.1 proposal end-to-end: the unwinder itself performs the
+         validated non-local transfer *)
+      match Unwind.validated_longjmp m ~jmp_buf:jb ~value:77L with
+      | Ok d -> report := Printf.sprintf "validated_longjmp transferred after %d frames" d :: !report
+      | Error e -> report := Printf.sprintf "validated_longjmp refused: %s" e.Unwind.reason :: !report);
+  (match Machine.run ~fuel:1_000_000 m with
+  | Machine.Halted 0 -> ()
+  | Machine.Halted c -> Format.fprintf fmt "victim exited %d@." c
+  | Machine.Faulted f -> Format.fprintf fmt "victim faulted: %s@." (Pacstack_machine.Trap.to_string f)
+  | Machine.Out_of_fuel -> Format.fprintf fmt "victim out of fuel@.");
+  List.iter (fun line -> Format.fprintf fmt "%s@." line) (List.rev !report);
+  Format.fprintf fmt "longjmp landed with value: %s@."
+    (String.concat ", " (List.map Int64.to_string (Machine.output m)))
+
+let interop fmt =
+  section fmt "Mixed instrumented/uninstrumented deployment (paper 9.2)";
+  let app = [ "main"; "func"; "a"; "b" ] in
+  let show label outcome = Format.fprintf fmt "%-52s %s@." label (Adversary.outcome_to_string outcome) in
+  show "sibling reuse, everything PACStack-protected:"
+    (Reuse.attack ~scheme:Scheme.pacstack Reuse.Sibling_reuse);
+  show "app protected, library uninstrumented:"
+    (Reuse.attack ~scheme:Scheme.Unprotected
+       ~overrides:(List.map (fun f -> (f, Scheme.pacstack)) app)
+       Reuse.Sibling_reuse);
+  show "library protected, app uninstrumented:"
+    (Reuse.attack ~scheme:Scheme.pacstack
+       ~overrides:(List.map (fun f -> (f, Scheme.Unprotected)) app)
+       Reuse.Sibling_reuse);
+  Format.fprintf fmt
+    "(partial protection helps only the instrumented functions; returns in the@.";
+  Format.fprintf fmt " unprotected app remain attackable, as 9.2 cautions)@."
+
+let forward_cfi fmt =
+  section fmt "Forward-edge CFI, assumption A2 (paper 3, 6.3)";
+  List.iter
+    (fun ((cfi, target), outcome) ->
+      Format.fprintf fmt "CFI %-9s function pointer -> %-22s %s@."
+        (if cfi then "enforced," else "disabled,")
+        (match target with
+        | Pacstack_attacker.Forward_cfi.Entry_of_evil -> "another function entry:"
+        | Pacstack_attacker.Forward_cfi.Mid_function -> "mid-function address:")
+        (Adversary.outcome_to_string outcome))
+    (Pacstack_attacker.Forward_cfi.summary ());
+  Format.fprintf fmt
+    "(coarse CFI admits wrong-but-valid entries - exactly why backward-edge@.";
+  Format.fprintf fmt " protection is still required; mid-function targets are rejected)@."
+
+let gadget_surface fmt =
+  section fmt "ROP gadget surface (paper 2.1, 9.2)";
+  let victim = Scenarios.listing6 ~rounds:2 in
+  Format.fprintf fmt "%-24s %s@." "scheme" "return sites";
+  List.iter
+    (fun scheme ->
+      let r = Pacstack_attacker.Gadget_scan.scan_scheme scheme victim in
+      Format.fprintf fmt "%-24s %a@." (Scheme.to_string scheme)
+        Pacstack_attacker.Gadget_scan.pp r)
+    Scheme.all;
+  Format.fprintf fmt
+    "(PA-based schemes leave no plainly-usable return gadgets - the 9.2 point@.";
+  Format.fprintf fmt " that protected libraries remove gadgets from the adversary's pool)@."
+
+let sp_collisions fmt =
+  section fmt "SP-modifier reuse (paper 2.2.1: why the SP is a weak modifier)";
+  List.iter
+    (fun name ->
+      match Speclike.find name with
+      | None -> ()
+      | Some bench ->
+        let program = Compile.compile ~scheme:Scheme.Unprotected (bench.Speclike.program Speclike.Rate) in
+        let m = Machine.load program in
+        let seen = Hashtbl.create 256 in
+        let calls = ref 0 in
+        Machine.set_tracer m
+          (Some
+             (fun m instr ->
+               match instr with
+               | Pacstack_isa.Instr.Bl _ | Pacstack_isa.Instr.Blr _ ->
+                 incr calls;
+                 let sp = Machine.get m Pacstack_isa.Reg.SP in
+                 Hashtbl.replace seen sp (1 + Option.value (Hashtbl.find_opt seen sp) ~default:0)
+               | _ -> ()));
+        (match Machine.run ~fuel:100_000_000 m with
+        | Machine.Halted 0 -> ()
+        | _ -> failwith (name ^ ": SP-stat run failed"));
+        let distinct = Hashtbl.length seen in
+        let repeats = !calls - distinct in
+        Format.fprintf fmt
+          "%-12s %7d calls use only %5d distinct SP values (%.1f%% of signatures reuse a modifier)@."
+          name !calls distinct
+          (100.0 *. float_of_int repeats /. float_of_int (max 1 !calls)))
+    [ "perlbench"; "gcc"; "mcf"; "x264" ]
+
+let confirm fmt =
+  section fmt "ConFIRM-style compatibility suite (paper 7.3)";
+  Format.fprintf fmt "%-20s" "test \\ scheme";
+  List.iter (fun s -> Format.fprintf fmt " %22s" (Scheme.to_string s)) Scheme.all;
+  Format.fprintf fmt "@.";
+  let rows = List.map (fun scheme -> (scheme, Confirm.run_all ~scheme)) Scheme.all in
+  List.iteri
+    (fun idx t ->
+      Format.fprintf fmt "%-20s" t.Confirm.name;
+      List.iter
+        (fun (_, results) ->
+          let _, outcome = List.nth results idx in
+          let cell = match outcome with Confirm.Pass -> "pass" | Confirm.Fail m -> "FAIL:" ^ m in
+          Format.fprintf fmt " %22s" cell)
+        rows;
+      Format.fprintf fmt "@.")
+    Confirm.all
+
+let all ?(seed = 1L) fmt =
+  table1 ~seed fmt;
+  table2_and_figure5 fmt;
+  table3 fmt;
+  reuse_matrix fmt;
+  birthday ~seed fmt;
+  bruteforce ~seed fmt;
+  gadget fmt;
+  sigreturn fmt;
+  unwind_demo fmt;
+  interop fmt;
+  forward_cfi fmt;
+  gadget_surface fmt;
+  sp_collisions fmt;
+  confirm fmt

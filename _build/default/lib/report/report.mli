@@ -1,0 +1,60 @@
+(** Regeneration of every table and figure in the paper's evaluation, plus
+    the security experiments of §4.3 and §6 (see the per-experiment index
+    in DESIGN.md). Each function prints a self-contained section comparing
+    the paper's numbers with the measured ones; {!all} prints everything.
+    All experiments are deterministic for a fixed [seed]. *)
+
+val table1 : ?seed:int64 -> Format.formatter -> unit
+(** Table 1: maximum success probability of call-stack integrity
+    violations — closed forms next to Monte-Carlo estimates at a small
+    PAC width. *)
+
+val table2_and_figure5 : Format.formatter -> unit
+(** Table 2 (geometric-mean overheads, SPECrate and SPECspeed) and
+    Figure 5 (per-benchmark overhead, all five instrumentations). *)
+
+val table3 : Format.formatter -> unit
+(** Table 3: NGINX-style SSL TPS with 4 and 8 workers. *)
+
+val reuse_matrix : Format.formatter -> unit
+(** §6.1: the Listing 6 attack strategies against every scheme. *)
+
+val birthday : ?seed:int64 -> Format.formatter -> unit
+(** §6.2.1: harvested-token count until a PAC collision, and the mask
+    distinguisher advantage (Appendix A). *)
+
+val bruteforce : ?seed:int64 -> Format.formatter -> unit
+(** §4.3: expected guesses under divide-and-conquer, re-seeded and
+    independent strategies, plus the end-to-end forked-sibling attack. *)
+
+val gadget : Format.formatter -> unit
+(** §6.3.1: the signing gadget works at the PA level and is defeated by
+    PACStack across tail calls. *)
+
+val sigreturn : Format.formatter -> unit
+(** §6.3.2 and Appendix B: forged sigreturn frames with and without the
+    kernel [asigret] chain. *)
+
+val unwind_demo : Format.formatter -> unit
+(** §9.1: ACS-validated backtrace and frame-by-frame validated longjmp,
+    rejecting forged targets. *)
+
+val interop : Format.formatter -> unit
+(** §9.2: partial instrumentation — protected app with unprotected
+    libraries and vice versa. *)
+
+val forward_cfi : Format.formatter -> unit
+(** Assumption A2 exercised: coarse-grained forward CFI blocks
+    mid-function targets but admits wrong function entries. *)
+
+val gadget_surface : Format.formatter -> unit
+(** Static count of usable vs PA-guarded return gadgets per scheme. *)
+
+val sp_collisions : Format.formatter -> unit
+(** Measured reuse of SP values across call sites — the weakness of the
+    [-mbranch-protection] modifier (§2.2.1). *)
+
+val confirm : Format.formatter -> unit
+(** §7.3: the compatibility suite across all schemes. *)
+
+val all : ?seed:int64 -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/util/word64.ml: Array Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/util/word64.mli: Format

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the simulator (key generation, workload
+    data, Monte-Carlo experiments) draws from an explicit [Rng.t] so runs
+    are reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** Uniform 64-bit word. *)
+
+val bits : t -> int -> int64
+(** [bits t n] is a uniform [n]-bit word, [0 <= n <= 64]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n), [n > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

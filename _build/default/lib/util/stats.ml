@@ -1,0 +1,117 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> invalid_arg "Stats.geometric_mean"
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let sorted xs = List.sort compare xs
+
+let percentile xs p =
+  match sorted xs with
+  | [] -> invalid_arg "Stats.percentile"
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile xs 50.0
+
+let binomial_ci ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.binomial_ci";
+  let z = 1.959964 in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z /. denom *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n))) in
+  (max 0.0 (centre -. half), min 1.0 (centre +. half))
+
+let overhead_pct ~baseline ~measured =
+  if baseline = 0.0 then invalid_arg "Stats.overhead_pct"
+  else (measured -. baseline) /. baseline *. 100.0
+
+let birthday_expected_tokens ~bits =
+  sqrt (Float.pi *. (2.0 ** float_of_int bits) /. 2.0)
+
+let birthday_collision_probability ~bits ~drawn =
+  (* 1 - prod_{i=1}^{q-1} (1 - i/2^b), computed in log space. *)
+  let space = 2.0 ** float_of_int bits in
+  if float_of_int drawn >= space then 1.0
+  else
+    let rec go i acc =
+      if i >= drawn then acc
+      else go (i + 1) (acc +. log1p (-.float_of_int i /. space))
+    in
+    1.0 -. exp (go 1 0.0)
+
+let guesses_for_success ~bits ~p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.guesses_for_success";
+  log1p (-.p) /. log1p (-.(2.0 ** float_of_int (-bits)))
+
+let expected_guesses_geometric ~bits = 2.0 ** float_of_int bits
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable total : int;
+  }
+
+  let create ~buckets ~lo ~hi =
+    if buckets <= 0 || hi <= lo then invalid_arg "Histogram.create";
+    { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+  let add t x =
+    let n = Array.length t.counts in
+    let idx =
+      if x <= t.lo then 0
+      else if x >= t.hi then n - 1
+      else int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int n)
+    in
+    let idx = min (n - 1) (max 0 idx) in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+  let bucket_counts t = Array.copy t.counts
+
+  let pp fmt t =
+    let width = 40 in
+    let peak = Array.fold_left max 1 t.counts in
+    let n = Array.length t.counts in
+    let step = (t.hi -. t.lo) /. float_of_int n in
+    Array.iteri
+      (fun i c ->
+        let bar = String.make (c * width / peak) '#' in
+        Format.fprintf fmt "[%8.1f, %8.1f) %6d %s@."
+          (t.lo +. (float_of_int i *. step))
+          (t.lo +. (float_of_int (i + 1) *. step))
+          c bar)
+      t.counts
+end

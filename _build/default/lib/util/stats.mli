@@ -1,0 +1,52 @@
+(** Descriptive statistics and closed-form probability helpers used by the
+    benchmark harness and the security experiments. *)
+
+val mean : float list -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; raises [Invalid_argument] on an empty
+    list or a non-positive element. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 values. *)
+
+val median : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
+
+val binomial_ci : successes:int -> trials:int -> float * float
+(** 95 % Wilson score interval for a binomial proportion. *)
+
+val overhead_pct : baseline:float -> measured:float -> float
+(** [(measured - baseline) / baseline * 100]. *)
+
+(** {1 Closed forms from the paper} *)
+
+val birthday_expected_tokens : bits:int -> float
+(** Expected number of harvested [b]-bit tokens before the first collision,
+    [sqrt (pi * 2^b / 2)] — 321 for b = 16 (paper §6.2.1). *)
+
+val birthday_collision_probability : bits:int -> drawn:int -> float
+(** Probability that [drawn] uniform [b]-bit tokens contain a collision. *)
+
+val guesses_for_success : bits:int -> p:float -> float
+(** Number of independent 2^-b guesses needed to succeed with probability
+    [p] when failure is fatal: [log(1-p) / log(1-2^-b)] (paper §4.3). *)
+
+val expected_guesses_geometric : bits:int -> float
+(** Mean of the geometric distribution with success probability 2^-b. *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type t
+
+  val create : buckets:int -> lo:float -> hi:float -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  val pp : Format.formatter -> t -> unit
+  (** Renders a small ASCII bar chart. *)
+end

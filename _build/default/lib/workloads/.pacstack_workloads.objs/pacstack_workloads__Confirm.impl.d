@@ -1,0 +1,1 @@
+lib/workloads/confirm.ml: Int64 List Pacstack_harden Pacstack_machine Pacstack_minic Pacstack_util Printf String

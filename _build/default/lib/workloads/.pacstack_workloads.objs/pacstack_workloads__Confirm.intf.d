@@ -1,0 +1,1 @@
+lib/workloads/confirm.mli: Pacstack_harden Pacstack_minic

@@ -1,0 +1,1 @@
+lib/workloads/scenarios.mli: Pacstack_minic

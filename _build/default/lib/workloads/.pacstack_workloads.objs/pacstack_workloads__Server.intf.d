@@ -1,0 +1,1 @@
+lib/workloads/server.mli: Pacstack_harden Pacstack_minic

@@ -1,0 +1,1 @@
+lib/workloads/speclike.ml: List Pacstack_harden Pacstack_machine Pacstack_minic Pacstack_util Printf

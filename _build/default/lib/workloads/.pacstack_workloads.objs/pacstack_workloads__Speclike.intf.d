@@ -1,0 +1,1 @@
+lib/workloads/speclike.mli: Pacstack_harden Pacstack_minic

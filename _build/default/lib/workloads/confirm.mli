@@ -1,0 +1,26 @@
+(** A ConFIRM-flavoured compatibility micro-suite (§7.3).
+
+    The paper runs the 11 Linux/AArch64-applicable ConFIRM tests and
+    verifies they pass with and without PACStack. Each test here is a
+    program exercising one corner case that historically breaks CFI
+    schemes, with its expected output; {!run} executes it under a scheme
+    and checks behaviour is unchanged. *)
+
+type test = {
+  name : string;
+  description : string;
+  program : Pacstack_minic.Ast.program;
+  expected : int64 list;  (** required program output *)
+  needs_kernel : bool;  (** uses signals/threads and must run under {!Pacstack_machine.Kernel} *)
+  overrides : (string * Pacstack_harden.Scheme.t) list;
+      (** per-function scheme overrides (the mixed-linkage test) *)
+}
+
+val all : test list
+(** The 11 tests. *)
+
+type outcome = Pass | Fail of string
+
+val run : scheme:Pacstack_harden.Scheme.t -> test -> outcome
+
+val run_all : scheme:Pacstack_harden.Scheme.t -> (test * outcome) list

@@ -1,0 +1,140 @@
+module Ast = Pacstack_minic.Ast
+module B = Pacstack_minic.Build
+
+let evil_marker = 7777L
+
+let disclose_hook = "disclose"
+let overwrite_hook = "overwrite"
+
+(* The function the adversary wants to reach. Never called legitimately. *)
+let evil_fn =
+  Ast.fdef "evil" ~locals:[ Ast.Scalar "z" ]
+    B.[
+      print (i64 evil_marker);
+      (* spin so that a hijacked control flow cannot stumble back into the
+         legitimate trace *)
+      set "z" (i 1);
+      while_ (v "z" == i 1) [];
+      ret (i 0);
+    ]
+
+(* §6.1 / Listing 6: func calls a (stack disclosure) and b (stack
+   overwrite) from call sites that share the SP value, making their signed
+   return addresses interchangeable under SP-modifier schemes. *)
+let listing6 ~rounds =
+  Ast.program
+    [
+      evil_fn;
+      Ast.fdef "a" ~locals:[ Ast.Scalar "t" ]
+        B.[
+          Ast.Hook disclose_hook;
+          set "t" (call "id" [ i 1 ]);
+          ret (v "t");
+        ];
+      Ast.fdef "id" ~params:[ "x" ] B.[ ret (v "x") ];
+      Ast.fdef "b" ~locals:[ Ast.Array ("buf", 64); Ast.Scalar "t" ]
+        B.[
+          store (idx "buf" (i 0)) (i 11);
+          Ast.Hook overwrite_hook;
+          set "t" (call "id" [ i 2 ]);
+          ret (v "t" + load (idx "buf" (i 0)) - i 11);
+        ];
+      Ast.fdef "func" ~params:[ "k" ]
+        ~locals:[ Ast.Scalar "x"; Ast.Scalar "y" ]
+        B.[
+          set "x" (call "a" []);
+          set "y" (call "b" []);
+          ret (v "x" + v "y");
+        ];
+      Ast.fdef "main"
+        ~locals:[ Ast.Scalar "k"; Ast.Scalar "t" ]
+        B.[
+          for_ "k" ~from:(i 0) ~below:(i rounds)
+            [ set "t" (call "func" [ v "k" ]); print (v "t") ];
+          print (i 0);
+          ret (i 0);
+        ];
+    ]
+
+(* §6.3.1 / Listing 8: [a] ends in a tail call to [b]; the stored chain
+   value in [b]'s frame is the adversary's only handle. *)
+let tail_call_victim =
+  Ast.program
+    [
+      evil_fn;
+      Ast.fdef "b" ~params:[ "k" ]
+        ~locals:[ Ast.Scalar "t" ]
+        B.[
+          Ast.Hook overwrite_hook;
+          set "t" (call "id" [ v "k" ]);
+          ret (v "t" + i 1);
+        ];
+      Ast.fdef "id" ~params:[ "x" ] B.[ ret (v "x") ];
+      Ast.fdef "a" ~params:[ "k" ]
+        ~locals:[ Ast.Scalar "t" ]
+        B.[
+          set "t" (call "id" [ v "k" + i 10 ]);
+          Ast.Tail_call ("b", [ v "t" ]);
+        ];
+      Ast.fdef "main"
+        ~locals:[ Ast.Scalar "x" ]
+        B.[
+          set "x" (call "a" [ i 5 ]);
+          print (v "x");
+          ret (i 0);
+        ];
+    ]
+
+(* §6.3.2: a long-running request loop; [handler] is the benign signal
+   handler, [gadget] marks the point where the adversary exercises its
+   "reached the sigreturn trampoline" capability. *)
+let sigreturn_victim =
+  Ast.program
+    [
+      evil_fn;
+      Ast.fdef "handler" ~params:[ "sig" ]
+        B.[
+          print (v "sig" + i 100);
+          ret (i 0);
+        ];
+      Ast.fdef "work" ~params:[ "k" ] B.[ ret ((v "k" * i 31) lxor (v "k" lsr i 3)) ];
+      Ast.fdef "main"
+        ~locals:[ Ast.Scalar "k"; Ast.Scalar "s" ]
+        B.[
+          set "s" (i 0);
+          for_ "k" ~from:(i 0) ~below:(i 4000)
+            [
+              set "s" (v "s" + call "work" [ v "k" ]);
+              if_ ((v "k" land i 1023) == i 512) [ Ast.Hook "gadget" ] [];
+            ];
+          print (v "s");
+          ret (i 0);
+        ];
+    ]
+
+(* §9.1: setjmp in main, descend, longjmp back from the bottom. The hook
+   at the bottom lets the experiment inspect/forge the jmp_buf and run the
+   validated unwinder. *)
+let unwind_victim ~depth =
+  Ast.program
+    ~globals:[ ("jb", 128) ]
+    [
+      Ast.fdef "down" ~params:[ "d" ]
+        ~locals:[ Ast.Scalar "r" ]
+        B.[
+          if_ (v "d" == i 0)
+            [ Ast.Hook "deep"; Ast.Longjmp (glob "jb", i 42) ]
+            [];
+          set "r" (call "down" [ v "d" - i 1 ]);
+          ret (v "r");
+        ];
+      Ast.fdef "main"
+        ~locals:[ Ast.Scalar "r"; Ast.Scalar "x" ]
+        B.[
+          Ast.Setjmp ("r", glob "jb");
+          if_ (v "r" != i 0) [ print (v "r"); ret (i 0) ] [];
+          set "x" (call "down" [ i depth ]);
+          print (v "x");
+          ret (i 1);
+        ];
+    ]

@@ -1,0 +1,36 @@
+(** Victim programs for the security experiments of §6.
+
+    Each program contains a deliberate memory-corruption vulnerability
+    marked by hook intrinsics; {!Pacstack_attacker} attaches to the hooks.
+    All victims share the convention that the function [evil] — never
+    legitimately called — prints {!evil_marker} when reached, so attack
+    success is observable in the program output. *)
+
+val evil_marker : int64
+
+val disclose_hook : string
+(** Hook inside function [a]: fires while [a]'s frame is live, letting the
+    adversary read harvested values off the stack. *)
+
+val overwrite_hook : string
+(** Hook inside function [b]: fires while [b]'s frame is live, letting the
+    adversary corrupt it (the Listing 6 buffer overflow). *)
+
+val listing6 : rounds:int -> Pacstack_minic.Ast.program
+(** The §6.1 reuse-attack victim: [func] calls [a] then [b] from two
+    call sites that share the SP value; run for [rounds] iterations. The
+    program prints a trace value after each round and 0 on clean exit. *)
+
+val tail_call_victim : Pacstack_minic.Ast.program
+(** The §6.3.1 signing-gadget victim: [a] ends in a tail call to [b]
+    whose frame (holding the stored [aret]) is adversary-writable while
+    [b] runs. *)
+
+val sigreturn_victim : Pacstack_minic.Ast.program
+(** The §6.3.2 victim: a long-running loop with a registered signal
+    handler; the adversary fabricates a signal frame and forces a
+    [sigreturn]. Defines [handler] (benign) and [evil]. *)
+
+val unwind_victim : depth:int -> Pacstack_minic.Ast.program
+(** §9.1 victim: [main] setjmps into a buffer, descends [depth] frames and
+    longjmps back; hooks let the experiment capture/expire the buffer. *)

@@ -1,0 +1,1 @@
+test/test_acs.ml: Alcotest Array Int64 List Pacstack_acs Pacstack_pa Pacstack_qarma Pacstack_util Printf QCheck2 QCheck_alcotest

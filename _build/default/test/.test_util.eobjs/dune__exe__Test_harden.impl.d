@@ -1,0 +1,1 @@
+test/test_harden.ml: Alcotest Fmt List Pacstack_harden Pacstack_isa String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Int64 List Pacstack_isa Pacstack_util QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Int32 Int64 List Option Pacstack_harden Pacstack_isa Pacstack_machine Pacstack_minic Pacstack_pa Pacstack_util Pacstack_workloads Printf String

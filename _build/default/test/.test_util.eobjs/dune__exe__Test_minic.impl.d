@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Int64 List Pacstack_harden Pacstack_isa Pacstack_machine Pacstack_minic Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pa.ml: Alcotest Int64 List Pacstack_pa Pacstack_qarma Pacstack_util Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int64 List Pacstack_util QCheck2 QCheck_alcotest

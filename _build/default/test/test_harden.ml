@@ -1,0 +1,230 @@
+(* Tests for the hardening passes: scheme naming, the exact instruction
+   sequences of the paper's listings, leaf/canary heuristics and the
+   well-formedness of the runtime support functions. *)
+
+module Instr = Pacstack_isa.Instr
+module Reg = Pacstack_isa.Reg
+module Program = Pacstack_isa.Program
+module Scheme = Pacstack_harden.Scheme
+module Frame = Pacstack_harden.Frame
+module Runtime = Pacstack_harden.Runtime
+
+let show_seq l = String.concat "; " (List.map Instr.to_string l)
+let check_seq = Alcotest.testable (Fmt.of_to_string show_seq) ( = )
+
+(* --- Scheme ------------------------------------------------------------------ *)
+
+let test_scheme_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Scheme.to_string s) true
+        (match Scheme.of_string (Scheme.to_string s) with
+        | Some s' -> Scheme.equal s s'
+        | None -> false))
+    Scheme.all
+
+let test_scheme_aliases () =
+  Alcotest.(check bool) "scs alias" true (Scheme.of_string "scs" = Some Scheme.Shadow_stack);
+  Alcotest.(check bool) "none alias" true (Scheme.of_string "none" = Some Scheme.Unprotected);
+  Alcotest.(check bool) "unknown" true (Scheme.of_string "pac" = None)
+
+let test_chain_register_reservation () =
+  Alcotest.(check bool) "pacstack reserves CR" true (Scheme.uses_chain_register Scheme.pacstack);
+  Alcotest.(check bool) "nomask reserves CR" true
+    (Scheme.uses_chain_register Scheme.pacstack_nomask);
+  Alcotest.(check bool) "baseline does not" false
+    (Scheme.uses_chain_register Scheme.Unprotected)
+
+(* --- Frame -------------------------------------------------------------------- *)
+
+let nonleaf = Frame.traits ~locals_bytes:32 ()
+let leaf = Frame.traits ~is_leaf:true ~locals_bytes:16 ()
+let arrays = Frame.traits ~has_arrays:true ~locals_bytes:32 ()
+
+let test_traits_validation () =
+  Alcotest.check_raises "unaligned locals"
+    (Invalid_argument "Frame.traits: locals_bytes must be 16-byte aligned") (fun () ->
+      ignore (Frame.traits ~locals_bytes:8 ()))
+
+let test_protects_return () =
+  Alcotest.(check bool) "baseline never" false (Frame.protects_return Scheme.Unprotected nonleaf);
+  Alcotest.(check bool) "canary needs arrays" false
+    (Frame.protects_return Scheme.Stack_protector nonleaf);
+  Alcotest.(check bool) "canary with arrays" true
+    (Frame.protects_return Scheme.Stack_protector arrays);
+  Alcotest.(check bool) "pacstack non-leaf" true (Frame.protects_return Scheme.pacstack nonleaf);
+  Alcotest.(check bool) "pacstack skips leaves" false (Frame.protects_return Scheme.pacstack leaf);
+  Alcotest.(check bool) "bp skips leaves" false
+    (Frame.protects_return Scheme.Branch_protection leaf)
+
+let test_frame_overhead () =
+  Alcotest.(check int) "pacstack +16" 16 (Frame.frame_overhead_bytes Scheme.pacstack nonleaf);
+  Alcotest.(check int) "scs +8" 8 (Frame.frame_overhead_bytes Scheme.Shadow_stack nonleaf);
+  Alcotest.(check int) "canary +16 on arrays" 16
+    (Frame.frame_overhead_bytes Scheme.Stack_protector arrays);
+  Alcotest.(check int) "bp +0" 0 (Frame.frame_overhead_bytes Scheme.Branch_protection nonleaf);
+  Alcotest.(check int) "leaf +0" 0 (Frame.frame_overhead_bytes Scheme.pacstack leaf)
+
+let sp = Reg.SP
+let fp = Reg.fp
+let lr = Reg.lr
+let x28 = Reg.cr
+let x15 = Reg.scratch
+let mem base offset index = { Instr.base; offset; index }
+
+(* Listing 2: PACStack without masking. *)
+let test_pacstack_nomask_listing2 () =
+  let t = Frame.traits () in
+  Alcotest.check check_seq "prologue"
+    [
+      Instr.Str (x28, mem sp (-32) Instr.Pre);
+      Instr.Stp (fp, lr, mem sp 16 Instr.Offset);
+      Instr.Add (fp, sp, Instr.Imm 16L);
+      Instr.Pacia (lr, x28);
+      Instr.Mov (x28, Instr.Reg lr);
+    ]
+    (Frame.prologue Scheme.pacstack_nomask t);
+  Alcotest.check check_seq "epilogue"
+    [
+      Instr.Mov (lr, Instr.Reg x28);
+      Instr.Ldr (fp, mem sp 16 Instr.Offset);
+      Instr.Ldr (x28, mem sp 32 Instr.Post);
+      Instr.Autia (lr, x28);
+      Instr.Ret lr;
+    ]
+    (Frame.epilogue Scheme.pacstack_nomask t)
+
+(* Listing 3: the masked variant recreates and clears the mask around every
+   use. *)
+let test_pacstack_masked_listing3 () =
+  let t = Frame.traits () in
+  let prologue = Frame.prologue Scheme.pacstack t in
+  let epilogue = Frame.epilogue Scheme.pacstack t in
+  let mask_seq =
+    [
+      Instr.Mov (x15, Instr.Reg Reg.XZR);
+      Instr.Pacia (x15, x28);
+      Instr.Eor (lr, lr, Instr.Reg x15);
+      Instr.Mov (x15, Instr.Reg Reg.XZR);
+    ]
+  in
+  let contains ~sub l =
+    let rec go = function
+      | [] -> false
+      | _ :: rest as l -> (List.length l >= List.length sub && List.filteri (fun i _ -> i < List.length sub) l = sub) || go rest
+    in
+    go l
+  in
+  Alcotest.(check bool) "prologue masks" true (contains ~sub:mask_seq prologue);
+  Alcotest.(check bool) "epilogue unmasks" true (contains ~sub:mask_seq epilogue);
+  (* mask never flows anywhere but X15, which is cleared after each use *)
+  Alcotest.(check int) "two clears per sequence" 2
+    (List.length
+       (List.filter (fun i -> i = Instr.Mov (x15, Instr.Reg Reg.XZR)) prologue))
+
+(* Listing 1: -mbranch-protection. *)
+let test_branch_protection_listing1 () =
+  let t = Frame.traits () in
+  Alcotest.check check_seq "prologue"
+    [ Instr.Paciasp; Instr.Stp (fp, lr, mem sp (-16) Instr.Pre); Instr.Mov (fp, Instr.Reg sp) ]
+    (Frame.prologue Scheme.Branch_protection t);
+  Alcotest.check check_seq "epilogue"
+    [ Instr.Ldp (fp, lr, mem sp 16 Instr.Post); Instr.Retaa ]
+    (Frame.epilogue Scheme.Branch_protection t)
+
+let test_shadow_stack_sequences () =
+  let t = Frame.traits () in
+  (match Frame.prologue Scheme.Shadow_stack t with
+  | Instr.Str (r, { Instr.base; offset = 8; index = Instr.Post }) :: _ ->
+    Alcotest.(check bool) "pushes LR via X18" true (Reg.equal r lr && Reg.equal base Reg.shadow)
+  | _ -> Alcotest.fail "expected shadow push first");
+  match List.rev (Frame.epilogue Scheme.Shadow_stack t) with
+  | Instr.Ret _ :: Instr.Ldr (r, { Instr.base; offset = -8; index = Instr.Pre }) :: _ ->
+    Alcotest.(check bool) "pops LR from X18" true (Reg.equal r lr && Reg.equal base Reg.shadow)
+  | _ -> Alcotest.fail "expected shadow pop before ret"
+
+let test_canary_sequences () =
+  let t = arrays in
+  let prologue = Frame.prologue Scheme.Stack_protector t in
+  let epilogue = Frame.epilogue Scheme.Stack_protector t in
+  Alcotest.(check bool) "prologue stores canary" true
+    (List.exists
+       (function Instr.Str (_, { Instr.offset; _ }) -> offset = Frame.canary_slot t | _ -> false)
+       prologue);
+  Alcotest.(check bool) "epilogue branches to failure handler" true
+    (List.exists
+       (function Instr.Bcond (_, l) -> l = Frame.stack_chk_fail_symbol | _ -> false)
+       epilogue)
+
+let test_leaf_frames_minimal () =
+  List.iter
+    (fun scheme ->
+      Alcotest.check check_seq
+        (Scheme.to_string scheme ^ " leaf prologue")
+        [ Instr.Sub (sp, sp, Instr.Imm 16L) ]
+        (Frame.prologue scheme leaf);
+      Alcotest.check check_seq
+        (Scheme.to_string scheme ^ " leaf epilogue")
+        [ Instr.Add (sp, sp, Instr.Imm 16L); Instr.Ret lr ]
+        (Frame.epilogue scheme leaf))
+    [ Scheme.Unprotected; Scheme.Branch_protection; Scheme.Shadow_stack; Scheme.pacstack ]
+
+let test_locals_allocation () =
+  let t = Frame.traits ~locals_bytes:48 () in
+  Alcotest.(check bool) "prologue allocates locals" true
+    (List.exists (fun i -> i = Instr.Sub (sp, sp, Instr.Imm 48L)) (Frame.prologue Scheme.pacstack t));
+  Alcotest.(check bool) "epilogue releases locals" true
+    (List.exists (fun i -> i = Instr.Add (sp, sp, Instr.Imm 48L)) (Frame.epilogue Scheme.pacstack t))
+
+(* --- Runtime ------------------------------------------------------------------- *)
+
+let test_runtime_wellformed () =
+  (* all runtime functions assemble into a valid program *)
+  let p =
+    Program.make ~entry:Runtime.setjmp_symbol Runtime.functions
+  in
+  Alcotest.(check bool) "five runtime functions" true (List.length p.Program.funcs = 5)
+
+let test_runtime_entries () =
+  Alcotest.(check string) "plain setjmp" Runtime.setjmp_symbol
+    (Runtime.setjmp_entry Scheme.Unprotected);
+  Alcotest.(check string) "pacstack setjmp" Runtime.pacstack_setjmp_symbol
+    (Runtime.setjmp_entry Scheme.pacstack);
+  Alcotest.(check string) "pacstack longjmp" Runtime.pacstack_longjmp_symbol
+    (Runtime.longjmp_entry Scheme.pacstack_nomask);
+  Alcotest.(check string) "scs longjmp is plain" Runtime.longjmp_symbol
+    (Runtime.longjmp_entry Scheme.Shadow_stack)
+
+let test_runtime_jmp_buf_size () =
+  Alcotest.(check bool) "slots fit the buffer" true (Runtime.jmp_buf_bytes >= 112)
+
+let () =
+  Alcotest.run "harden"
+    [
+      ( "scheme",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_scheme_roundtrip;
+          Alcotest.test_case "aliases" `Quick test_scheme_aliases;
+          Alcotest.test_case "chain register" `Quick test_chain_register_reservation;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "traits validation" `Quick test_traits_validation;
+          Alcotest.test_case "protects_return" `Quick test_protects_return;
+          Alcotest.test_case "frame overhead" `Quick test_frame_overhead;
+          Alcotest.test_case "Listing 2 (nomask)" `Quick test_pacstack_nomask_listing2;
+          Alcotest.test_case "Listing 3 (masked)" `Quick test_pacstack_masked_listing3;
+          Alcotest.test_case "Listing 1 (branch protection)" `Quick
+            test_branch_protection_listing1;
+          Alcotest.test_case "shadow stack sequences" `Quick test_shadow_stack_sequences;
+          Alcotest.test_case "canary sequences" `Quick test_canary_sequences;
+          Alcotest.test_case "leaf frames minimal" `Quick test_leaf_frames_minimal;
+          Alcotest.test_case "locals allocation" `Quick test_locals_allocation;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "well-formed" `Quick test_runtime_wellformed;
+          Alcotest.test_case "per-scheme entries" `Quick test_runtime_entries;
+          Alcotest.test_case "jmp_buf size" `Quick test_runtime_jmp_buf_size;
+        ] );
+    ]

@@ -1,0 +1,395 @@
+(* Tests for the ISA layer: registers, condition codes, instruction cost
+   model, the assembler's print/parse roundtrip and program validation. *)
+
+module Word64 = Pacstack_util.Word64
+module Reg = Pacstack_isa.Reg
+module Cond = Pacstack_isa.Cond
+module Instr = Pacstack_isa.Instr
+module Program = Pacstack_isa.Program
+module Asm = Pacstack_isa.Asm
+
+let qtest name count gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let full64 =
+  QCheck2.Gen.(
+    map2 (fun a b -> Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31)) int int)
+
+(* --- Reg -------------------------------------------------------------------- *)
+
+let test_reg_roundtrip () =
+  let all = Reg.SP :: Reg.XZR :: List.init 31 Reg.x in
+  List.iter
+    (fun r ->
+      match Reg.of_string (Reg.to_string r) with
+      | Some r' -> Alcotest.(check bool) (Reg.to_string r) true (Reg.equal r r')
+      | None -> Alcotest.fail ("unparseable " ^ Reg.to_string r))
+    all
+
+let test_reg_aliases () =
+  Alcotest.(check bool) "lr = x30" true (Reg.equal Reg.lr (Reg.x 30));
+  Alcotest.(check bool) "fp = x29" true (Reg.equal Reg.fp (Reg.x 29));
+  Alcotest.(check bool) "cr = x28" true (Reg.equal Reg.cr (Reg.x 28));
+  Alcotest.(check bool) "shadow = x18" true (Reg.equal Reg.shadow (Reg.x 18));
+  Alcotest.(check bool) "parse lr" true (Reg.of_string "LR" = Some Reg.lr);
+  Alcotest.(check bool) "reject x31" true (Reg.of_string "x31" = None);
+  Alcotest.check_raises "x 31 invalid" (Invalid_argument "Reg.x") (fun () -> ignore (Reg.x 31))
+
+let test_callee_saved () =
+  Alcotest.(check bool) "x19 saved" true (Reg.is_callee_saved (Reg.x 19));
+  Alcotest.(check bool) "x28 saved" true (Reg.is_callee_saved Reg.cr);
+  Alcotest.(check bool) "x18 not saved" false (Reg.is_callee_saved Reg.shadow);
+  Alcotest.(check bool) "x0 not saved" false (Reg.is_callee_saved (Reg.x 0));
+  Alcotest.(check bool) "sp saved" true (Reg.is_callee_saved Reg.SP)
+
+(* --- Cond ------------------------------------------------------------------- *)
+
+let all_conds = Cond.[ EQ; NE; LT; LE; GT; GE; HS; LO ]
+
+let test_cond_negate_involution () =
+  List.iter
+    (fun c ->
+      Alcotest.(check string) "negate twice" (Cond.to_string c)
+        (Cond.to_string (Cond.negate (Cond.negate c))))
+    all_conds
+
+let test_cond_string_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Cond.to_string c) true (Cond.of_string (Cond.to_string c) = Some c))
+    all_conds
+
+let prop_cond_semantics =
+  qtest "flags agree with Int64 comparisons" 500
+    QCheck2.Gen.(tup2 full64 full64)
+    (fun (a, b) ->
+      let f = Cond.of_compare a b in
+      Cond.holds Cond.EQ f = (Int64.equal a b)
+      && Cond.holds Cond.NE f = (not (Int64.equal a b))
+      && Cond.holds Cond.LT f = (Int64.compare a b < 0)
+      && Cond.holds Cond.GE f = (Int64.compare a b >= 0)
+      && Cond.holds Cond.GT f = (Int64.compare a b > 0)
+      && Cond.holds Cond.LE f = (Int64.compare a b <= 0)
+      && Cond.holds Cond.HS f = (Int64.unsigned_compare a b >= 0)
+      && Cond.holds Cond.LO f = (Int64.unsigned_compare a b < 0))
+
+let test_cond_negation_semantics () =
+  let f = Cond.of_compare 3L 7L in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "negation flips" (Cond.holds c f) (not (Cond.holds (Cond.negate c) f)))
+    all_conds
+
+(* --- Instr ------------------------------------------------------------------- *)
+
+let instr_gen =
+  let open QCheck2.Gen in
+  let reg = map Reg.x (int_range 0 30) in
+  let operand = oneof [ map (fun r -> Instr.Reg r) reg; map (fun i -> Instr.Imm (Int64.of_int i)) (int_range (-4096) 4096) ] in
+  let index = oneofl [ Instr.Offset; Instr.Pre; Instr.Post ] in
+  let mem = map3 (fun base offset index -> { Instr.base; offset; index }) reg (int_range (-256) 256) index in
+  let label = oneofl [ "foo"; "bar"; ".L1" ] in
+  let cond = oneofl all_conds in
+  oneof
+    [
+      map3 (fun a b c -> Instr.Add (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Sub (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Mul (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Instr.Udiv (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Instr.And_ (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Orr (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Eor (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Lsl_ (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Lsr_ (a, b, c)) reg reg operand;
+      map2 (fun a b -> Instr.Mov (a, b)) reg operand;
+      map2 (fun a b -> Instr.Cmp (a, b)) reg operand;
+      map2 (fun a b -> Instr.Adr (a, b)) reg label;
+      map2 (fun a b -> Instr.Ldr (a, b)) reg mem;
+      map2 (fun a b -> Instr.Str (a, b)) reg mem;
+      map2 (fun a b -> Instr.Ldrb (a, b)) reg mem;
+      map2 (fun a b -> Instr.Strb (a, b)) reg mem;
+      map3 (fun a b c -> Instr.Ldp (a, b, c)) reg reg mem;
+      map3 (fun a b c -> Instr.Stp (a, b, c)) reg reg mem;
+      map (fun l -> Instr.B l) label;
+      map2 (fun c l -> Instr.Bcond (c, l)) cond label;
+      map2 (fun r l -> Instr.Cbz (r, l)) reg label;
+      map2 (fun r l -> Instr.Cbnz (r, l)) reg label;
+      map (fun l -> Instr.Bl l) label;
+      map (fun r -> Instr.Blr r) reg;
+      map (fun r -> Instr.Br r) reg;
+      return (Instr.Ret Reg.lr);
+      return Instr.Retaa;
+      map2 (fun a b -> Instr.Pacia (a, b)) reg reg;
+      map2 (fun a b -> Instr.Autia (a, b)) reg reg;
+      return Instr.Paciasp;
+      return Instr.Autiasp;
+      map (fun r -> Instr.Xpaci r) reg;
+      map3 (fun a b c -> Instr.Pacga (a, b, c)) reg reg reg;
+      map (fun n -> Instr.Svc n) (int_range 0 9);
+      return Instr.Nop;
+      return Instr.Hlt;
+      map (fun l -> Instr.Hook l) label;
+    ]
+
+let prop_asm_roundtrip =
+  qtest "print/parse instruction roundtrip" 1000 instr_gen (fun ins ->
+      Asm.parse_instr (Instr.to_string ins) = ins)
+
+let test_cycles_model () =
+  Alcotest.(check int) "alu" 1 (Instr.cycles (Instr.Nop));
+  Alcotest.(check int) "load" 4 (Instr.cycles (Instr.Ldr (Reg.x 0, { Instr.base = Reg.SP; offset = 0; index = Instr.Offset })));
+  Alcotest.(check int) "pair" 5 (Instr.cycles (Instr.Ldp (Reg.x 0, Reg.x 1, { Instr.base = Reg.SP; offset = 0; index = Instr.Offset })));
+  Alcotest.(check int) "pac" 3 (Instr.cycles Instr.Paciasp);
+  Alcotest.(check int) "retaa" 5 (Instr.cycles Instr.Retaa);
+  Alcotest.(check int) "hook free" 0 (Instr.cycles (Instr.Hook "h"));
+  Alcotest.(check int) "svc" 100 (Instr.cycles (Instr.Svc 0))
+
+let test_reads_label () =
+  Alcotest.(check (option string)) "bl" (Some "f") (Instr.reads_label (Instr.Bl "f"));
+  Alcotest.(check (option string)) "adr" (Some "d") (Instr.reads_label (Instr.Adr (Reg.x 0, "d")));
+  Alcotest.(check (option string)) "ret" None (Instr.reads_label (Instr.Ret Reg.lr))
+
+(* --- Encode ----------------------------------------------------------------------- *)
+
+module Encode = Pacstack_isa.Encode
+
+let prop_encode_roundtrip =
+  (* pair transfers with unaligned offsets are legitimately rejected;
+     everything encodable must roundtrip exactly *)
+  qtest "encode/decode roundtrip" 800 instr_gen (fun ins ->
+      match Encode.encode [ ins ] with
+      | words, pools -> Encode.decode words.(0) pools = ins
+      | exception Encode.Unencodable _ -> (
+        match ins with
+        | Instr.Ldp (_, _, { Instr.offset; _ }) | Instr.Stp (_, _, { Instr.offset; _ }) ->
+          offset land 7 <> 0 || offset < -256 || offset > 248
+        | _ -> false))
+
+let test_encode_sequence () =
+  let instrs =
+    [
+      Instr.Mov (Reg.x 0, Instr.Imm 0x123456789abcdefL);
+      Instr.Add (Reg.x 1, Reg.x 0, Instr.Imm 5L);
+      Instr.Stp (Reg.fp, Reg.lr, { Instr.base = Reg.SP; offset = -16; index = Instr.Pre });
+      Instr.Bl "callee";
+      Instr.Ldp (Reg.fp, Reg.lr, { Instr.base = Reg.SP; offset = 16; index = Instr.Post });
+      Instr.Ret Reg.lr;
+    ]
+  in
+  let words, pools = Encode.encode instrs in
+  Alcotest.(check int) "one word per instruction" (List.length instrs) (Array.length words);
+  Alcotest.(check bool) "decode_all inverts" true (Encode.decode_all words pools = instrs)
+
+let test_encode_pools_interned () =
+  let instrs =
+    [ Instr.Mov (Reg.x 0, Instr.Imm 7L); Instr.Mov (Reg.x 1, Instr.Imm 7L); Instr.B "l"; Instr.Bl "l" ]
+  in
+  let _, pools = Encode.encode instrs in
+  Alcotest.(check int) "constant interned" 1 (Array.length pools.Encode.constants);
+  Alcotest.(check int) "symbol interned" 1 (Array.length pools.Encode.symbols)
+
+let test_encode_limits () =
+  let reject i =
+    match Encode.encode [ i ] with
+    | exception Encode.Unencodable _ -> ()
+    | _ -> Alcotest.fail "expected Unencodable"
+  in
+  reject (Instr.Ldr (Reg.x 0, { Instr.base = Reg.SP; offset = 5000; index = Instr.Offset }));
+  reject (Instr.Ldp (Reg.x 0, Reg.x 1, { Instr.base = Reg.SP; offset = 12; index = Instr.Offset }));
+  reject (Instr.Stp (Reg.x 0, Reg.x 1, { Instr.base = Reg.SP; offset = 512; index = Instr.Offset }));
+  reject (Instr.Svc 300)
+
+let test_disassemble () =
+  let instrs = [ Instr.Paciasp; Instr.Nop; Instr.Retaa ] in
+  let words, pools = Encode.encode instrs in
+  Alcotest.(check string) "disassembly" "paciasp\nnop\nretaa" (Encode.disassemble words pools)
+
+(* --- Program / Asm -------------------------------------------------------------- *)
+
+let simple_src =
+  ".data buf 64\n.entry main\n.func main\n  mov x0, #0\nloop:\n  add x0, x0, #1\n  cmp x0, #3\n  b.lt loop\n  hlt\n.endfunc\n"
+
+let test_asm_parse_program () =
+  let p = Asm.parse simple_src in
+  Alcotest.(check string) "entry" "main" p.Program.entry;
+  Alcotest.(check int) "one data object" 1 (List.length p.Program.data);
+  Alcotest.(check int) "5 instructions" 5 (Program.instruction_count p)
+
+let test_asm_program_roundtrip () =
+  let p = Asm.parse simple_src in
+  let p2 = Asm.parse (Asm.print p) in
+  Alcotest.(check string) "same printed form" (Asm.print p) (Asm.print p2)
+
+let test_asm_comments () =
+  let p = Asm.parse ".entry main\n.func main ; comment\n  nop // trailing\n  hlt\n.endfunc\n" in
+  Alcotest.(check int) "comments stripped" 2 (Program.instruction_count p)
+
+let expect_parse_error src =
+  match Asm.parse src with
+  | exception Asm.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_asm_errors () =
+  expect_parse_error ".func f\n nop\n.endfunc\n";  (* no entry *)
+  expect_parse_error ".entry f\n.func f\n bogus x0\n.endfunc\n";
+  expect_parse_error ".entry f\n.func f\n nop\n";  (* missing endfunc *)
+  expect_parse_error ".entry f\nnop\n";  (* instruction outside func *)
+  expect_parse_error ".entry f\n.func f\n mov x0, #zz\n.endfunc\n"
+
+let test_program_validation () =
+  let f name body = Program.func name (List.map (fun i -> Program.Ins i) body) in
+  Alcotest.check_raises "missing entry"
+    (Invalid_argument "Program: entry symbol nope undefined") (fun () ->
+      ignore (Program.make ~entry:"nope" [ f "main" [ Instr.Hlt ] ]));
+  Alcotest.check_raises "duplicate symbol"
+    (Invalid_argument "Program: duplicate function symbol main") (fun () ->
+      ignore (Program.make ~entry:"main" [ f "main" [ Instr.Hlt ]; f "main" [ Instr.Nop ] ]));
+  Alcotest.check_raises "unknown label"
+    (Invalid_argument "Program: unknown label nowhere in main") (fun () ->
+      ignore (Program.make ~entry:"main" [ f "main" [ Instr.B "nowhere" ] ]));
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Program: duplicate label l in main") (fun () ->
+      ignore
+        (Program.make ~entry:"main"
+           [ Program.func "main" [ Program.Lbl "l"; Program.Lbl "l"; Program.Ins Instr.Hlt ] ]));
+  Alcotest.check_raises "bad data size"
+    (Invalid_argument "Program: data d has size 0") (fun () ->
+      ignore
+        (Program.make ~entry:"main" ~data:[ { Program.dname = "d"; size = 0 } ]
+           [ f "main" [ Instr.Hlt ] ]))
+
+let test_program_cross_function_symbols () =
+  (* labels can reference other functions and data *)
+  let p =
+    Program.make ~entry:"main"
+      ~data:[ { Program.dname = "buf"; size = 8 } ]
+      [
+        Program.func "main"
+          [ Program.Ins (Instr.Adr (Reg.x 0, "buf")); Program.Ins (Instr.Bl "helper");
+            Program.Ins Instr.Hlt ];
+        Program.func "helper" [ Program.Ins (Instr.Ret Reg.lr) ];
+      ]
+  in
+  Alcotest.(check (list string)) "symbols" [ "main"; "helper"; "buf" ] (Program.symbols p)
+
+(* --- Objfile / Link ---------------------------------------------------------------- *)
+
+module Objfile = Pacstack_isa.Objfile
+module Link = Pacstack_isa.Link
+
+(* the app unit references [helper] without defining it, so it is built
+   directly (Asm.parse would reject the unresolved symbol) *)
+let app_unit =
+  {
+    Objfile.funcs =
+      [
+        Program.func "main"
+          (List.map
+             (fun i -> Program.Ins i)
+             [
+               Instr.Adr (Reg.x 1, "shared");
+               Instr.Bl "helper";
+               Instr.Mov (Reg.x 0, Instr.Imm 0L);
+               Instr.Hlt;
+             ]);
+      ];
+    data = [ { Program.dname = "shared"; size = 16 } ];
+  }
+
+let lib_unit =
+  Objfile.of_program (Asm.parse ".entry helper\n.func helper\n  add x0, x0, #1\n  ret\n.endfunc\n")
+
+let test_objfile_symbols () =
+  Alcotest.(check (list string)) "defined" [ "main"; "shared" ] (Objfile.defined_symbols app_unit);
+  Alcotest.(check (list string)) "referenced" [ "helper" ]
+    (Objfile.referenced_symbols app_unit);
+  Alcotest.(check (list string)) "lib has no refs" [] (Objfile.referenced_symbols lib_unit)
+
+let test_objfile_roundtrip () =
+  List.iter
+    (fun u ->
+      let u' = Objfile.read (Objfile.write u) in
+      Alcotest.(check (list string)) "symbols preserved" (Objfile.defined_symbols u)
+        (Objfile.defined_symbols u');
+      let instrs_of (x : Objfile.t) =
+        List.concat_map Program.instructions x.Objfile.funcs
+      in
+      Alcotest.(check bool) "instructions preserved" true (instrs_of u = instrs_of u'))
+    [ app_unit; lib_unit ]
+
+let test_objfile_corrupt () =
+  let reject s =
+    match Objfile.read s with
+    | exception Objfile.Corrupt _ -> ()
+    | _ -> Alcotest.fail "expected Corrupt"
+  in
+  reject "";
+  reject "NOPE";
+  reject (String.sub (Objfile.write app_unit) 0 10);
+  reject (Objfile.write app_unit ^ "x")
+
+let test_link_success () =
+  let p = Link.link [ app_unit; lib_unit ] in
+  Alcotest.(check string) "entry" "main" p.Program.entry;
+  Alcotest.(check int) "both units linked" 2 (List.length p.Program.funcs)
+
+let test_link_errors () =
+  (match Link.link [ app_unit ] with
+  | exception Link.Link_error (Link.Undefined_symbols [ "helper" ]) -> ()
+  | _ -> Alcotest.fail "expected undefined helper");
+  (match Link.link [ lib_unit; lib_unit ] with
+  | exception Link.Link_error (Link.Duplicate_symbol ("helper", 0, 1)) -> ()
+  | _ -> Alcotest.fail "expected duplicate");
+  (match Link.link [ lib_unit ] with
+  | exception Link.Link_error (Link.Missing_entry "main") -> ()
+  | _ -> Alcotest.fail "expected missing entry");
+  Alcotest.(check (list string)) "undefined listing" [ "helper" ]
+    (Link.undefined_symbols [ app_unit ])
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_reg_roundtrip;
+          Alcotest.test_case "aliases" `Quick test_reg_aliases;
+          Alcotest.test_case "callee-saved" `Quick test_callee_saved;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "negate involution" `Quick test_cond_negate_involution;
+          Alcotest.test_case "string roundtrip" `Quick test_cond_string_roundtrip;
+          prop_cond_semantics;
+          Alcotest.test_case "negation semantics" `Quick test_cond_negation_semantics;
+        ] );
+      ( "instr",
+        [
+          prop_asm_roundtrip;
+          Alcotest.test_case "cycle model" `Quick test_cycles_model;
+          Alcotest.test_case "reads_label" `Quick test_reads_label;
+        ] );
+      ( "encode",
+        [
+          prop_encode_roundtrip;
+          Alcotest.test_case "sequence" `Quick test_encode_sequence;
+          Alcotest.test_case "pool interning" `Quick test_encode_pools_interned;
+          Alcotest.test_case "limits" `Quick test_encode_limits;
+          Alcotest.test_case "disassembly" `Quick test_disassemble;
+        ] );
+      ( "objfile+link",
+        [
+          Alcotest.test_case "symbols" `Quick test_objfile_symbols;
+          Alcotest.test_case "roundtrip" `Quick test_objfile_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_objfile_corrupt;
+          Alcotest.test_case "link" `Quick test_link_success;
+          Alcotest.test_case "link errors" `Quick test_link_errors;
+        ] );
+      ( "asm+program",
+        [
+          Alcotest.test_case "parse program" `Quick test_asm_parse_program;
+          Alcotest.test_case "program roundtrip" `Quick test_asm_program_roundtrip;
+          Alcotest.test_case "comments" `Quick test_asm_comments;
+          Alcotest.test_case "parse errors" `Quick test_asm_errors;
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "cross-function symbols" `Quick test_program_cross_function_symbols;
+        ] );
+    ]

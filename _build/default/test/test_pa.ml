@@ -1,0 +1,215 @@
+(* Tests for the pointer-authentication layer: pointer layout, PAC
+   computation/verification and the architectural corner cases the paper's
+   attacks depend on (error-bit propagation, the pac-on-invalid bit flip). *)
+
+module Word64 = Pacstack_util.Word64
+module Rng = Pacstack_util.Rng
+module Config = Pacstack_pa.Config
+module Pointer = Pacstack_pa.Pointer
+module Pac = Pacstack_pa.Pac
+module Keys = Pacstack_pa.Keys
+module Prf = Pacstack_qarma.Prf
+
+let check_w64 = Alcotest.testable Word64.pp Word64.equal
+let qtest name count gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let cfg = Config.default
+let prf = Prf.create_fast 0xfeedL
+
+let canonical_gen =
+  QCheck2.Gen.(map (fun a -> Int64.logand (Int64.of_int a) (Word64.mask 39)) int)
+
+let modifier_gen =
+  QCheck2.Gen.(
+    map2 (fun a b -> Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31)) int int)
+
+(* --- Config ---------------------------------------------------------------- *)
+
+let test_config_default () =
+  Alcotest.(check int) "va_size 39" 39 cfg.Config.va_size;
+  Alcotest.(check int) "16 PAC bits" 16 cfg.Config.pac_bits;
+  Alcotest.(check int) "pac_lo" 39 (Config.pac_lo cfg);
+  Alcotest.(check int) "error bit 63" 63 (Config.error_bit cfg)
+
+let test_config_validation () =
+  Alcotest.check_raises "too many PAC bits" (Invalid_argument "Pa.Config.make: pac_bits")
+    (fun () -> ignore (Config.make ~va_size:39 ~pac_bits:17 ()));
+  Alcotest.check_raises "zero PAC bits" (Invalid_argument "Pa.Config.make: pac_bits")
+    (fun () -> ignore (Config.make ~pac_bits:0 ()));
+  Alcotest.check_raises "bad va_size" (Invalid_argument "Pa.Config.make: va_size") (fun () ->
+      ignore (Config.make ~va_size:60 ()))
+
+let test_config_with_pac_bits () =
+  let c = Config.with_pac_bits cfg 8 in
+  Alcotest.(check int) "narrowed" 8 c.Config.pac_bits;
+  Alcotest.(check int) "va_size kept" 39 c.Config.va_size
+
+(* --- Pointer ---------------------------------------------------------------- *)
+
+let test_pointer_canonical () =
+  Alcotest.(check bool) "low pointer canonical" true (Pointer.is_canonical cfg 0x12345L);
+  Alcotest.(check bool) "max canonical" true
+    (Pointer.is_canonical cfg (Word64.mask 39));
+  Alcotest.(check bool) "bit 39 set" false
+    (Pointer.is_canonical cfg (Int64.shift_left 1L 39));
+  Alcotest.(check bool) "error bit" false (Pointer.is_canonical cfg Int64.min_int)
+
+let prop_pointer_pac_field =
+  qtest "pac field embed/extract" 300
+    QCheck2.Gen.(tup2 canonical_gen (int_range 0 0xffff))
+    (fun (p, pac) ->
+      let pac = Int64.of_int pac in
+      let p' = Pointer.with_pac_field cfg p pac in
+      Word64.equal (Pointer.pac_field cfg p') pac
+      && Word64.equal (Pointer.address cfg p') p)
+
+let test_pointer_error_flag () =
+  let bad = Pointer.set_error cfg 0x1234L in
+  Alcotest.(check bool) "has error" true (Pointer.has_error cfg bad);
+  Alcotest.(check bool) "not canonical" false (Pointer.is_canonical cfg bad);
+  Alcotest.check check_w64 "address preserved" 0x1234L (Pointer.address cfg bad)
+
+let test_auth_split () =
+  let p = Pointer.with_pac_field cfg 0x42L 0xbeefL in
+  let pac, addr = Pointer.auth_split cfg p in
+  Alcotest.check check_w64 "pac" 0xbeefL pac;
+  Alcotest.check check_w64 "addr" 0x42L addr
+
+(* --- Pac ---------------------------------------------------------------------- *)
+
+let prop_sign_verify =
+  qtest "pac/aut roundtrip" 300
+    QCheck2.Gen.(tup2 canonical_gen modifier_gen)
+    (fun (p, modifier) ->
+      match Pac.auth cfg prf (Pac.add cfg prf p ~modifier) ~modifier with
+      | Pac.Valid addr -> Word64.equal addr p
+      | Pac.Invalid _ -> false)
+
+let test_auth_wrong_modifier () =
+  let signed = Pac.add cfg prf 0x1000L ~modifier:1L in
+  match Pac.auth cfg prf signed ~modifier:2L with
+  | Pac.Valid _ -> Alcotest.fail "wrong modifier accepted"
+  | Pac.Invalid p ->
+    Alcotest.(check bool) "error bit set" true (Pointer.has_error cfg p);
+    Alcotest.check check_w64 "address stripped" 0x1000L (Pointer.address cfg p)
+
+let test_auth_tampered_pac () =
+  let signed = Pac.add cfg prf 0x1000L ~modifier:1L in
+  let tampered = Word64.flip_bit signed (Config.pac_lo cfg) in
+  match Pac.auth cfg prf tampered ~modifier:1L with
+  | Pac.Valid _ -> Alcotest.fail "tampered PAC accepted"
+  | Pac.Invalid _ -> ()
+
+let test_auth_tampered_address () =
+  let signed = Pac.add cfg prf 0x1000L ~modifier:1L in
+  let tampered = Word64.flip_bit signed 3 in
+  match Pac.auth cfg prf tampered ~modifier:1L with
+  | Pac.Valid _ -> Alcotest.fail "tampered address accepted"
+  | Pac.Invalid _ -> ()
+
+let test_failed_pointer_never_revalidates () =
+  (* even if the PAC field of an error-flagged pointer happens to match,
+     the error bit keeps it invalid *)
+  let signed = Pac.add cfg prf 0x2000L ~modifier:7L in
+  let failed = Pointer.set_error cfg signed in
+  let failed = Pointer.with_pac_field cfg failed (Pointer.pac_field cfg signed) in
+  let failed = Word64.set_bit failed 63 true in
+  match Pac.auth cfg prf failed ~modifier:7L with
+  | Pac.Valid _ -> Alcotest.fail "error-flagged pointer revalidated"
+  | Pac.Invalid _ -> ()
+
+let test_strip () =
+  let signed = Pac.add cfg prf 0x3000L ~modifier:9L in
+  Alcotest.check check_w64 "xpac strips" 0x3000L (Pac.strip cfg signed)
+
+let test_pac_on_invalid_flips_bit () =
+  (* the §6.3.1 gadget precondition: signing a non-canonical pointer
+     yields the PAC of the stripped address with bit p flipped *)
+  let target = 0x4000L in
+  let clean = Pac.add cfg prf target ~modifier:5L in
+  let corrupted = Pointer.set_error cfg target in
+  let dirty = Pac.add cfg prf corrupted ~modifier:5L in
+  Alcotest.check check_w64 "exactly PAC bit 0 differs" (Int64.shift_left 1L (Config.pac_lo cfg))
+    (Int64.logxor clean dirty)
+
+let test_pacga () =
+  let mac = Pac.generic cfg prf 0x123456789abcdefL ~modifier:0x42L in
+  Alcotest.check check_w64 "low half zero" 0L (Word64.extract mac ~lo:0 ~width:32);
+  Alcotest.(check bool) "high half nonzero" false
+    (Word64.equal (Word64.extract mac ~lo:32 ~width:32) 0L);
+  let mac2 = Pac.generic cfg prf 0x123456789abcdefL ~modifier:0x43L in
+  Alcotest.(check bool) "modifier-sensitive" false (Word64.equal mac mac2)
+
+let test_small_pac_collision_rate () =
+  (* with b bits, random pointers verify with probability about 2^-b *)
+  let small = Config.make ~pac_bits:8 () in
+  let rng = Rng.create 5L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let p = Pointer.with_pac_field small (Rng.bits rng 39) (Rng.bits rng 8) in
+    match Pac.auth small prf p ~modifier:(Rng.next64 rng) with
+    | Pac.Valid _ -> incr hits
+    | Pac.Invalid _ -> ()
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.4f near 1/256" rate)
+    true
+    (rate > 0.5 /. 256.0 && rate < 2.0 /. 256.0)
+
+(* --- Keys ------------------------------------------------------------------------ *)
+
+let test_keys_distinct () =
+  let keys = Keys.generate ~fast:true (Rng.create 11L) in
+  let macs =
+    List.map (fun w -> Prf.mac64 (Keys.get keys w) ~data:1L ~modifier:2L) Keys.all
+  in
+  Alcotest.(check int) "five distinct keys" 5 (List.length (List.sort_uniq compare macs))
+
+let test_keys_regenerate () =
+  let rng = Rng.create 12L in
+  let a = Keys.generate ~fast:true rng in
+  let b = Keys.generate ~fast:true rng in
+  Alcotest.(check bool) "regenerated keys differ" false (Keys.equal a b);
+  Alcotest.(check bool) "reflexive" true (Keys.equal a a)
+
+let test_key_names () =
+  Alcotest.(check string) "IA name" "APIAKey" (Keys.which_to_string Keys.IA);
+  Alcotest.(check int) "five keys" 5 (List.length Keys.all)
+
+let () =
+  Alcotest.run "pa"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_default;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "with_pac_bits" `Quick test_config_with_pac_bits;
+        ] );
+      ( "pointer",
+        [
+          Alcotest.test_case "canonical" `Quick test_pointer_canonical;
+          prop_pointer_pac_field;
+          Alcotest.test_case "error flag" `Quick test_pointer_error_flag;
+          Alcotest.test_case "auth_split" `Quick test_auth_split;
+        ] );
+      ( "pac",
+        [
+          prop_sign_verify;
+          Alcotest.test_case "wrong modifier rejected" `Quick test_auth_wrong_modifier;
+          Alcotest.test_case "tampered PAC rejected" `Quick test_auth_tampered_pac;
+          Alcotest.test_case "tampered address rejected" `Quick test_auth_tampered_address;
+          Alcotest.test_case "error bit sticks" `Quick test_failed_pointer_never_revalidates;
+          Alcotest.test_case "xpac" `Quick test_strip;
+          Alcotest.test_case "pac on invalid flips bit p" `Quick test_pac_on_invalid_flips_bit;
+          Alcotest.test_case "pacga" `Quick test_pacga;
+          Alcotest.test_case "collision rate at b=8" `Quick test_small_pac_collision_rate;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "distinct" `Quick test_keys_distinct;
+          Alcotest.test_case "regeneration" `Quick test_keys_regenerate;
+          Alcotest.test_case "names" `Quick test_key_names;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Tests for the QARMA-64-structured tweakable cipher and the H_k MAC:
+   structural inverses, exact invertibility, frozen regression vectors and
+   the statistical PRF-quality properties the ACS analysis relies on. *)
+
+module Word64 = Pacstack_util.Word64
+module Rng = Pacstack_util.Rng
+module Sbox = Pacstack_qarma.Sbox
+module Qarma64 = Pacstack_qarma.Qarma64
+module Prf = Pacstack_qarma.Prf
+
+let check_w64 = Alcotest.testable Word64.pp Word64.equal
+let qtest name count gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let full64 =
+  QCheck2.Gen.(
+    map2 (fun a b -> Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31)) int int)
+
+(* --- S-boxes ------------------------------------------------------------ *)
+
+let test_sbox_permutations () =
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " is a permutation") true (Sbox.is_permutation s))
+    [ ("sigma0", Sbox.sigma0); ("sigma1", Sbox.sigma1); ("sigma2", Sbox.sigma2) ]
+
+let test_sigma0_involution () =
+  Alcotest.(check bool) "sigma0 involutory" true (Sbox.is_involution Sbox.sigma0)
+
+let test_sbox_inverse () =
+  List.iter
+    (fun s ->
+      for x = 0 to 15 do
+        Alcotest.(check int) "inverse" x (Sbox.apply_inv s (Sbox.apply s x))
+      done)
+    [ Sbox.sigma0; Sbox.sigma1; Sbox.sigma2 ]
+
+let test_sbox_bounds () =
+  Alcotest.check_raises "apply out of range" (Invalid_argument "Sbox.apply") (fun () ->
+      ignore (Sbox.apply Sbox.sigma1 16))
+
+let prop_subcells_inverse =
+  qtest "sub_cells inverse" 300 full64 (fun w ->
+      Word64.equal (Sbox.sub_cells_inv Sbox.sigma1 (Sbox.sub_cells Sbox.sigma1 w)) w)
+
+(* --- diffusion layers ---------------------------------------------------- *)
+
+let prop_tau_inverse =
+  qtest "tau inverse" 300 full64 (fun w -> Word64.equal (Qarma64.tau_inv (Qarma64.tau w)) w)
+
+let prop_mix_involution =
+  qtest "MixColumns involutory" 300 full64 (fun w ->
+      Word64.equal (Qarma64.mix_columns (Qarma64.mix_columns w)) w)
+
+let prop_tweak_inverse =
+  qtest "tweak schedule inverse" 300 full64 (fun w ->
+      Word64.equal (Qarma64.tweak_backward (Qarma64.tweak_forward w)) w
+      && Word64.equal (Qarma64.tweak_forward (Qarma64.tweak_backward w)) w)
+
+let test_round_constants () =
+  Alcotest.check check_w64 "c0 is zero" 0L (Qarma64.round_constant 0);
+  Alcotest.(check bool) "constants distinct" true
+    (List.length (List.sort_uniq compare (List.init 8 Qarma64.round_constant)) = 8);
+  Alcotest.check_raises "out of range" (Invalid_argument "Qarma64.round_constant") (fun () ->
+      ignore (Qarma64.round_constant 8))
+
+(* --- encryption ----------------------------------------------------------- *)
+
+let fixed_key = Qarma64.key ~w0:0x0123456789abcdefL ~k0:0xfedcba9876543210L
+
+let prop_roundtrip =
+  qtest "encrypt/decrypt roundtrip" 200
+    QCheck2.Gen.(tup4 full64 full64 full64 full64)
+    (fun (w0, k0, tweak, p) ->
+      let key = Qarma64.key ~w0 ~k0 in
+      Word64.equal (Qarma64.decrypt key ~tweak (Qarma64.encrypt key ~tweak p)) p)
+
+let prop_roundtrip_reduced =
+  qtest "roundtrip at reduced rounds" 100
+    QCheck2.Gen.(tup2 (int_range 1 7) full64)
+    (fun (rounds, p) ->
+      let tweak = 0x42L in
+      Word64.equal
+        (Qarma64.decrypt ~rounds fixed_key ~tweak (Qarma64.encrypt ~rounds fixed_key ~tweak p))
+        p)
+
+(* Frozen regression vectors: any change to the cipher's structure or
+   constants is caught here (see DESIGN.md for why these are self-generated
+   rather than ARM silicon vectors). *)
+let test_regression_vectors () =
+  List.iter
+    (fun (p, t, c) ->
+      Alcotest.check check_w64 "frozen vector" c (Qarma64.encrypt fixed_key ~tweak:t p))
+    [
+      (0x0000000000000000L, 0x0000000000000000L, 0xbf12d538b1239d20L);
+      (0xdeadbeefcafebabeL, 0x1122334455667788L, 0x1b415073a6e89eadL);
+      (0x0000000000000001L, 0x0000000000000000L, 0x9b62c508e7bc0996L);
+      (0x0000000000000000L, 0x0000000000000001L, 0x0e586e1cf9a8e866L);
+      (0xffffffffffffffffL, 0xffffffffffffffffL, 0x5e7240a2bebcabffL);
+    ];
+  Alcotest.check check_w64 "frozen reduced-round vector" 0xa96e2d9ce255f255L
+    (Qarma64.encrypt ~rounds:2 fixed_key ~tweak:42L 7L)
+
+let test_rounds_validation () =
+  Alcotest.check_raises "0 rounds" (Invalid_argument "Qarma64: rounds") (fun () ->
+      ignore (Qarma64.encrypt ~rounds:0 fixed_key ~tweak:0L 0L))
+
+let avalanche flip =
+  let rng = Rng.create 0xa11L in
+  let total = ref 0 in
+  let n = 400 in
+  for _ = 1 to n do
+    let p = Rng.next64 rng and t = Rng.next64 rng in
+    let bit = Rng.int rng 64 in
+    let c1, c2 = flip p t bit in
+    total := !total + Word64.hamming c1 c2
+  done;
+  float_of_int !total /. float_of_int n
+
+let test_avalanche_plaintext () =
+  let mean =
+    avalanche (fun p t bit ->
+        ( Qarma64.encrypt fixed_key ~tweak:t p,
+          Qarma64.encrypt fixed_key ~tweak:t (Word64.flip_bit p bit) ))
+  in
+  Alcotest.(check bool) (Printf.sprintf "plaintext avalanche %.1f" mean) true
+    (mean > 28.0 && mean < 36.0)
+
+let test_avalanche_tweak () =
+  let mean =
+    avalanche (fun p t bit ->
+        ( Qarma64.encrypt fixed_key ~tweak:t p,
+          Qarma64.encrypt fixed_key ~tweak:(Word64.flip_bit t bit) p ))
+  in
+  Alcotest.(check bool) (Printf.sprintf "tweak avalanche %.1f" mean) true
+    (mean > 28.0 && mean < 36.0)
+
+let test_avalanche_key () =
+  let mean =
+    avalanche (fun p t bit ->
+        let key2 =
+          Qarma64.key ~w0:0x0123456789abcdefL ~k0:(Word64.flip_bit 0xfedcba9876543210L bit)
+        in
+        (Qarma64.encrypt fixed_key ~tweak:t p, Qarma64.encrypt key2 ~tweak:t p))
+  in
+  Alcotest.(check bool) (Printf.sprintf "key avalanche %.1f" mean) true
+    (mean > 28.0 && mean < 36.0)
+
+let prop_injective_per_tweak =
+  qtest "injective per tweak" 200
+    QCheck2.Gen.(tup2 full64 full64)
+    (fun (p1, p2) ->
+      Word64.equal p1 p2
+      || not
+           (Word64.equal
+              (Qarma64.encrypt fixed_key ~tweak:9L p1)
+              (Qarma64.encrypt fixed_key ~tweak:9L p2)))
+
+let test_key_helpers () =
+  let rng = Rng.create 77L in
+  let k1 = Qarma64.random_key rng and k2 = Qarma64.random_key rng in
+  Alcotest.(check bool) "random keys differ" false (Qarma64.key_equal k1 k2);
+  Alcotest.(check bool) "key equal reflexive" true (Qarma64.key_equal k1 k1)
+
+(* --- Prf ------------------------------------------------------------------ *)
+
+let test_prf_truncation () =
+  let prf = Prf.create fixed_key in
+  let full = Prf.mac64 prf ~data:123L ~modifier:456L in
+  let t16 = Prf.mac prf ~bits:16 ~data:123L ~modifier:456L in
+  Alcotest.check check_w64 "low 16 bits" (Int64.logand full 0xffffL) t16
+
+let test_prf_bits_validation () =
+  let prf = Prf.create fixed_key in
+  Alcotest.check_raises "0 bits" (Invalid_argument "Prf.mac: bits") (fun () ->
+      ignore (Prf.mac prf ~bits:0 ~data:0L ~modifier:0L));
+  Alcotest.check_raises "33 bits" (Invalid_argument "Prf.mac: bits") (fun () ->
+      ignore (Prf.mac prf ~bits:33 ~data:0L ~modifier:0L))
+
+let test_prf_fast_quality () =
+  (* the fast instantiation must also behave like a PRF: ~uniform 8-bit
+     tokens over distinct modifiers *)
+  let prf = Prf.create_fast 0x5eedL in
+  let buckets = Array.make 256 0 in
+  for i = 1 to 25600 do
+    let t = Int64.to_int (Prf.mac prf ~bits:8 ~data:99L ~modifier:(Int64.of_int i)) in
+    buckets.(t) <- buckets.(t) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket near 100" true (c > 50 && c < 160))
+    buckets
+
+let test_prf_equal () =
+  let a = Prf.create fixed_key in
+  let b = Prf.create fixed_key in
+  let f = Prf.create_fast 1L in
+  Alcotest.(check bool) "same key equal" true (Prf.equal a b);
+  Alcotest.(check bool) "qarma <> fast" false (Prf.equal a f);
+  Alcotest.(check bool) "fast equal" true (Prf.equal f (Prf.create_fast 1L))
+
+let test_prf_key_access () =
+  Alcotest.(check bool) "qarma key exposed" true (Prf.key (Prf.create fixed_key) <> None);
+  Alcotest.(check bool) "fast key hidden" true (Prf.key (Prf.create_fast 2L) = None)
+
+let test_prf_modifier_sensitivity () =
+  let prf = Prf.create fixed_key in
+  let a = Prf.mac64 prf ~data:5L ~modifier:1L in
+  let b = Prf.mac64 prf ~data:5L ~modifier:2L in
+  Alcotest.(check bool) "different modifiers differ" false (Word64.equal a b)
+
+let () =
+  Alcotest.run "qarma"
+    [
+      ( "sbox",
+        [
+          Alcotest.test_case "permutations" `Quick test_sbox_permutations;
+          Alcotest.test_case "sigma0 involution" `Quick test_sigma0_involution;
+          Alcotest.test_case "inverses" `Quick test_sbox_inverse;
+          Alcotest.test_case "bounds" `Quick test_sbox_bounds;
+          prop_subcells_inverse;
+        ] );
+      ( "diffusion",
+        [
+          prop_tau_inverse;
+          prop_mix_involution;
+          prop_tweak_inverse;
+          Alcotest.test_case "round constants" `Quick test_round_constants;
+        ] );
+      ( "cipher",
+        [
+          prop_roundtrip;
+          prop_roundtrip_reduced;
+          Alcotest.test_case "frozen vectors" `Quick test_regression_vectors;
+          Alcotest.test_case "round validation" `Quick test_rounds_validation;
+          Alcotest.test_case "plaintext avalanche" `Quick test_avalanche_plaintext;
+          Alcotest.test_case "tweak avalanche" `Quick test_avalanche_tweak;
+          Alcotest.test_case "key avalanche" `Quick test_avalanche_key;
+          prop_injective_per_tweak;
+          Alcotest.test_case "key helpers" `Quick test_key_helpers;
+        ] );
+      ( "prf",
+        [
+          Alcotest.test_case "truncation" `Quick test_prf_truncation;
+          Alcotest.test_case "bits validation" `Quick test_prf_bits_validation;
+          Alcotest.test_case "fast PRF uniformity" `Quick test_prf_fast_quality;
+          Alcotest.test_case "equality" `Quick test_prf_equal;
+          Alcotest.test_case "key access" `Quick test_prf_key_access;
+          Alcotest.test_case "modifier sensitivity" `Quick test_prf_modifier_sensitivity;
+        ] );
+    ]

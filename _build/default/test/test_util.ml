@@ -1,0 +1,249 @@
+(* Unit and property tests for Pacstack_util: 64-bit word operations, the
+   deterministic RNG and the statistics helpers. *)
+
+module Word64 = Pacstack_util.Word64
+module Rng = Pacstack_util.Rng
+module Stats = Pacstack_util.Stats
+
+let check_w64 = Alcotest.testable Word64.pp Word64.equal
+let qtest name count gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let full64 = QCheck2.Gen.(map2 (fun a b -> Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31)) int int)
+
+(* --- Word64 ------------------------------------------------------------ *)
+
+let test_mask () =
+  Alcotest.check check_w64 "mask 0" 0L (Word64.mask 0);
+  Alcotest.check check_w64 "mask 1" 1L (Word64.mask 1);
+  Alcotest.check check_w64 "mask 16" 0xffffL (Word64.mask 16);
+  Alcotest.check check_w64 "mask 64" (-1L) (Word64.mask 64);
+  Alcotest.check_raises "mask 65" (Invalid_argument "Word64.mask") (fun () ->
+      ignore (Word64.mask 65))
+
+let test_bits () =
+  Alcotest.(check bool) "bit 0 of 1" true (Word64.bit 1L 0);
+  Alcotest.(check bool) "bit 63 of min_int" true (Word64.bit Int64.min_int 63);
+  Alcotest.check check_w64 "set bit" 4L (Word64.set_bit 0L 2 true);
+  Alcotest.check check_w64 "clear bit" 0L (Word64.set_bit 4L 2 false);
+  Alcotest.check check_w64 "flip twice" 17L (Word64.flip_bit (Word64.flip_bit 17L 9) 9)
+
+let test_extract_insert () =
+  Alcotest.check check_w64 "extract" 0xbeL (Word64.extract 0xdeadbeefL ~lo:8 ~width:8);
+  Alcotest.check check_w64 "insert" 0xde00beefL
+    (Word64.insert 0xdeadbeefL ~lo:16 ~width:8 0L);
+  Alcotest.check check_w64 "extract width 0" 0L (Word64.extract (-1L) ~lo:10 ~width:0)
+
+let prop_insert_extract =
+  qtest "insert/extract roundtrip" 500
+    QCheck2.Gen.(tup3 full64 (int_range 0 56) full64)
+    (fun (w, lo, v) ->
+      let width = min 8 (64 - lo) in
+      let w' = Word64.insert w ~lo ~width v in
+      Word64.equal (Word64.extract w' ~lo ~width) (Int64.logand v (Word64.mask width)))
+
+let prop_rot_inverse =
+  qtest "rotl/rotr inverse" 500
+    QCheck2.Gen.(tup2 full64 (int_range 0 63))
+    (fun (w, n) -> Word64.equal (Word64.rotr (Word64.rotl w n) n) w)
+
+let prop_rot_popcount =
+  qtest "rotation preserves popcount" 500
+    QCheck2.Gen.(tup2 full64 (int_range 0 63))
+    (fun (w, n) -> Word64.popcount (Word64.rotl w n) = Word64.popcount w)
+
+let test_popcount () =
+  Alcotest.(check int) "popcount 0" 0 (Word64.popcount 0L);
+  Alcotest.(check int) "popcount -1" 64 (Word64.popcount (-1L));
+  Alcotest.(check int) "popcount 0xf0" 4 (Word64.popcount 0xf0L);
+  Alcotest.(check int) "hamming" 2 (Word64.hamming 0b1100L 0b1010L);
+  Alcotest.(check int) "parity odd" 1 (Word64.parity 0b111L)
+
+let prop_nibbles =
+  qtest "nibble pack/unpack roundtrip" 300 full64 (fun w ->
+      Word64.equal (Word64.of_nibbles (Word64.to_nibbles w)) w)
+
+let test_nibble_order () =
+  (* cell 0 is the most significant nibble, per the QARMA convention *)
+  Alcotest.(check int) "cell 0" 0xd (Word64.nibble 0xd000000000000000L 0);
+  Alcotest.(check int) "cell 15" 0x7 (Word64.nibble 0x7L 15);
+  Alcotest.check check_w64 "set cell 0" 0xa000000000000001L
+    (Word64.set_nibble 1L 0 0xa)
+
+let test_bytes () =
+  Alcotest.(check int) "byte 0" 0xef (Word64.byte 0xdeadbeefL 0);
+  Alcotest.(check int) "byte 3" 0xde (Word64.byte 0xdeadbeefL 3);
+  Alcotest.check check_w64 "set byte" 0xde00beefL (Word64.set_byte 0xdeadbeefL 2 0)
+
+let prop_hex =
+  qtest "hex roundtrip" 300 full64 (fun w -> Word64.equal (Word64.of_hex (Word64.to_hex w)) w)
+
+let test_hex_parse () =
+  Alcotest.check check_w64 "0x prefix" 255L (Word64.of_hex "0xff");
+  Alcotest.check check_w64 "upper" 0xABCL (Word64.of_hex "ABC");
+  Alcotest.check_raises "empty" (Invalid_argument "Word64.of_hex") (fun () ->
+      ignore (Word64.of_hex ""));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Word64.of_hex") (fun () ->
+      ignore (Word64.of_hex "xyz"))
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 10 do
+    Alcotest.check check_w64 "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_split () =
+  let a = Rng.create 42L in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs from parent stream" true
+    (not (Word64.equal (Rng.next64 c) (Rng.next64 a)))
+
+let test_rng_copy () =
+  let a = Rng.create 7L in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  Alcotest.check check_w64 "copy continues identically" (Rng.next64 a) (Rng.next64 b)
+
+let prop_rng_int_bounds =
+  qtest "int stays in bounds" 500
+    QCheck2.Gen.(tup2 full64 (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let v = Rng.int r n in
+      v >= 0 && v < n)
+
+let prop_rng_bits_width =
+  qtest "bits fit the width" 500
+    QCheck2.Gen.(tup2 full64 (int_range 0 63))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      Word64.equal (Int64.logand (Rng.bits r n) (Int64.lognot (Word64.mask n))) 0L)
+
+let test_rng_float_range () =
+  let r = Rng.create 3L in
+  for _ = 1 to 100 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 9L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_uniformity () =
+  (* chi-square-flavoured sanity: 8 buckets over 8000 draws *)
+  let r = Rng.create 123L in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v = Rng.int r 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket near 1000" true (c > 850 && c < 1150))
+    buckets
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean") (fun () ->
+      ignore (Stats.mean []))
+
+let test_geomean () =
+  Alcotest.check feq "geometric mean" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive value") (fun () ->
+      ignore (Stats.geometric_mean [ 1.0; 0.0 ]))
+
+let test_stddev () =
+  Alcotest.check feq "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.check (Alcotest.float 1e-6) "known" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_percentiles () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.check feq "median" 2.5 (Stats.median xs);
+  Alcotest.check feq "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.check feq "p100" 4.0 (Stats.percentile xs 100.0)
+
+let test_binomial_ci () =
+  let lo, hi = Stats.binomial_ci ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "covers 0.5" true (lo < 0.5 && hi > 0.5);
+  Alcotest.(check bool) "non-degenerate" true (hi -. lo > 0.0 && hi -. lo < 0.25);
+  let lo0, _ = Stats.binomial_ci ~successes:0 ~trials:10 in
+  Alcotest.check feq "zero successes lower bound" 0.0 lo0
+
+let test_overhead () =
+  Alcotest.check feq "10%" 10.0 (Stats.overhead_pct ~baseline:100.0 ~measured:110.0);
+  Alcotest.check feq "negative" (-10.0) (Stats.overhead_pct ~baseline:100.0 ~measured:90.0)
+
+let test_birthday () =
+  Alcotest.check (Alcotest.float 0.5) "paper's 321 tokens at b=16" 320.8
+    (Stats.birthday_expected_tokens ~bits:16);
+  Alcotest.(check bool) "certainty beyond space" true
+    (Stats.birthday_collision_probability ~bits:4 ~drawn:17 = 1.0);
+  let p = Stats.birthday_collision_probability ~bits:16 ~drawn:321 in
+  Alcotest.(check bool) "~50% at the mean" true (p > 0.4 && p < 0.7)
+
+let test_guesses () =
+  (* log(1-p)/log(1-2^-b) *)
+  let g = Stats.guesses_for_success ~bits:16 ~p:0.5 in
+  Alcotest.(check bool) "about 45k guesses for a coin flip at b=16" true
+    (g > 45000.0 && g < 46000.0);
+  Alcotest.check feq "geometric mean" 256.0 (Stats.expected_guesses_geometric ~bits:8)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~buckets:4 ~lo:0.0 ~hi:4.0 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 3.9; -1.0; 10.0 ];
+  Alcotest.(check int) "count" 6 (Stats.Histogram.count h);
+  Alcotest.(check (array int)) "buckets (clamping at edges)" [| 2; 2; 0; 2 |]
+    (Stats.Histogram.bucket_counts h)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "word64",
+        [
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "bit ops" `Quick test_bits;
+          Alcotest.test_case "extract/insert" `Quick test_extract_insert;
+          prop_insert_extract;
+          prop_rot_inverse;
+          prop_rot_popcount;
+          Alcotest.test_case "popcount family" `Quick test_popcount;
+          prop_nibbles;
+          Alcotest.test_case "nibble order" `Quick test_nibble_order;
+          Alcotest.test_case "bytes" `Quick test_bytes;
+          prop_hex;
+          Alcotest.test_case "hex parsing" `Quick test_hex_parse;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          prop_rng_int_bounds;
+          prop_rng_bits_width;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "geometric mean" `Quick test_geomean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "binomial CI" `Quick test_binomial_ci;
+          Alcotest.test_case "overhead" `Quick test_overhead;
+          Alcotest.test_case "birthday closed forms" `Quick test_birthday;
+          Alcotest.test_case "guess counts" `Quick test_guesses;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+    ]
