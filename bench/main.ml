@@ -59,6 +59,19 @@ let test_fast_mac =
   Test.make ~name:"fast_mac"
     (Staged.stage (fun () -> Pacstack_qarma.Prf.mac64 fast_prf ~data:42L ~modifier:7L))
 
+module Campaign = Pacstack_campaign.Campaign
+module Pool = Pacstack_campaign.Pool
+module Plans = Pacstack_report.Plans
+
+let test_pool_dispatch =
+  (* raw pool overhead: scheduling 64 trivial tasks over 4 domains *)
+  Test.make ~name:"campaign_pool_dispatch64"
+    (Staged.stage (fun () -> Pool.run ~workers:4 ~tasks:64 (fun i -> i * i)))
+
+let test_campaign_birthday =
+  Test.make ~name:"campaign_birthday_seq"
+    (Staged.stage (fun () -> Campaign.run (Plans.birthday_plan ~scale:0.1 ~seed:7L ())))
+
 let fib_machine =
   let program =
     Pacstack_minic.(
@@ -84,7 +97,37 @@ let test_machine =
 
 let tests =
   Test.make_grouped ~name:"pacstack"
-    [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac; test_machine ]
+    [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac;
+      test_machine; test_pool_dispatch; test_campaign_birthday ]
+
+(* --- campaign pool: wall-clock scaling ---------------------------------- *)
+
+(* The ISSUE 1 acceptance check: run the same Table 1 campaign plan on 1
+   worker and on 4 and report the wall-clock ratio. On a multi-core host
+   the 4-worker run is measurably faster; on a single-core container the
+   ratio degrades towards (or below) 1x, which the report makes visible
+   rather than hiding. Determinism is asserted either way. *)
+let campaign_scaling () =
+  Format.printf "@.=== Campaign engine: wall-clock scaling (Table 1 plan) ===@.";
+  Format.printf "host cores (recommended domains): %d@." (Pool.default_workers ());
+  let plan () = Plans.table1_plan ~scale:0.05 ~seed:42L () in
+  let time workers =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Campaign.run ~workers (plan ()) in
+    (Unix.gettimeofday () -. t0, Plans.table1_estimates outcome)
+  in
+  let t1, r1 = time 1 in
+  let t4, r4 = time 4 in
+  let identical =
+    Array.for_all2
+      (fun (a : Pacstack_acs.Games.estimate) (b : Pacstack_acs.Games.estimate) ->
+        a.successes = b.successes && a.trials = b.trials)
+      r1 r4
+  in
+  Format.printf "1 worker:  %6.2fs@." t1;
+  Format.printf "4 workers: %6.2fs  (speedup %.2fx)@." t4 (t1 /. t4);
+  Format.printf "results identical across worker counts: %b@." identical;
+  if not identical then failwith "campaign determinism violated in bench harness"
 
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -107,4 +150,5 @@ let () =
   Format.printf "PACStack reproduction: regenerating all tables and figures@.";
   Pacstack_report.Report.all Format.std_formatter;
   run_bechamel ();
+  campaign_scaling ();
   Format.printf "@.done.@."

@@ -9,6 +9,7 @@ module Trap = Pacstack_machine.Trap
 module Speclike = Pacstack_workloads.Speclike
 module Confirm = Pacstack_workloads.Confirm
 module Report = Pacstack_report.Report
+module Plans = Pacstack_report.Plans
 
 let scheme_conv =
   let parse s =
@@ -122,11 +123,97 @@ let section_cmd name doc render =
   in
   Cmd.v (Cmd.info name ~doc) Term.(const action $ const ())
 
-let seeded render ?seed fmt = render ?seed fmt
-
 let all_cmd =
   section_cmd "all" "Regenerate every table, figure and security experiment." (fun fmt ->
       Report.all fmt)
+
+(* --- campaign: the parallel experiment engine ----------------------------- *)
+
+let campaign_cmd =
+  let open Pacstack_campaign in
+  let name_arg =
+    let names = String.concat ", " (List.map (fun e -> e.Plans.name) Plans.entries) in
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CAMPAIGN" ~doc:("One of: " ^ names ^ "; or 'list' to enumerate."))
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "w"; "workers" ]
+          ~doc:
+            "Worker domains. 1 (the default) is sequential; results are identical for any \
+             value. 0 means one per recommended domain.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "seed" ] ~doc:"Campaign seed (default: the campaign's canonical seed).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint manifest. Created if absent; shards already recorded there are \
+             restored instead of re-run, so re-running after an interrupt completes only \
+             the remainder.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT" ~doc:"Also write the merged results as JSON to $(docv).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
+  in
+  let action name workers seed resume json_out quiet =
+    if name = "list" then begin
+      List.iter
+        (fun e -> Printf.printf "%-12s %s (default seed %Ld)\n" e.Plans.name e.Plans.doc e.Plans.default_seed)
+        Plans.entries;
+      0
+    end
+    else
+      match Plans.find name with
+      | None ->
+        Printf.eprintf
+          "pacstack: unknown campaign %S; try 'pacstack campaign list'.\n" name;
+        1
+      | Some entry ->
+        let workers = if workers = 0 then Pool.default_workers () else workers in
+        if workers < 1 then begin
+          Printf.eprintf "pacstack: --workers must be >= 0\n";
+          1
+        end
+        else begin
+          let progress =
+            if quiet then Progress.null else Progress.formatter Format.err_formatter
+          in
+          let seed = Option.value seed ~default:entry.Plans.default_seed in
+          let json =
+            entry.Plans.execute ~workers ~seed ~checkpoint:resume ~progress
+              Format.std_formatter
+          in
+          (match json_out with
+          | None -> ()
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Json.to_string json ^ "\n"));
+            Printf.printf "wrote %s\n" path);
+          0
+        end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run an experiment campaign on a parallel worker pool with deterministic sharding, \
+          checkpoint/resume and progress events.")
+    Term.(const action $ name_arg $ workers $ seed $ resume $ json_out $ quiet)
 
 (* --- disasm: show what the loader put in the executable pages ----------- *)
 
@@ -212,14 +299,15 @@ let cmds =
     confirm_cmd;
     disasm_cmd;
     export_cmd;
+    campaign_cmd;
     section_cmd "table1" "Table 1: violation success probabilities." (fun fmt ->
-        seeded Report.table1 fmt);
+        Report.table1 fmt);
     section_cmd "table2" "Table 2 and Figure 5: SPEC-like overheads." Report.table2_and_figure5;
     section_cmd "table3" "Table 3: server throughput." Report.table3;
     section_cmd "attacks" "The Listing 6 attack matrix." Report.reuse_matrix;
     section_cmd "games" "Collision, masking and brute-force games." (fun fmt ->
-        seeded Report.birthday fmt;
-        seeded Report.bruteforce fmt);
+        Report.birthday fmt;
+        Report.bruteforce fmt);
     section_cmd "gadget" "The PA signing-gadget experiment." Report.gadget;
     section_cmd "sigreturn" "Sigreturn attack and the Appendix B defence." Report.sigreturn;
     section_cmd "unwind" "ACS-validated unwinding demo." Report.unwind_demo;
@@ -233,4 +321,16 @@ let () =
     Cmd.info "pacstack" ~version:"1.0.0"
       ~doc:"Authenticated call stack (PACStack) reproduction toolkit"
   in
-  exit (Cmd.eval' (Cmd.group info cmds))
+  (* Cmdliner already exits 124 with a usage message on an unknown
+     subcommand, a bad flag or a missing COMMAND (verified; see
+     test/cli_exit_codes below dune runtest). What it does not cover is an
+     action raising mid-run — map that to a message and exit 1 rather
+     than an uncaught-exception backtrace. *)
+  match Cmd.eval' ~catch:false (Cmd.group info cmds) with
+  | code -> exit code
+  | exception Failure msg ->
+    Printf.eprintf "pacstack: %s\n" msg;
+    exit 1
+  | exception Sys_error msg ->
+    Printf.eprintf "pacstack: %s\n" msg;
+    exit 1

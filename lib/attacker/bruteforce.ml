@@ -37,10 +37,10 @@ let victim =
         ];
     ]
 
-let run ?(pac_bits = 6) ?(trials = 20) ?(seed = 0xb4c3L) () =
+let total_guesses ?(pac_bits = 6) ~trials rng =
+  if trials <= 0 then invalid_arg "Bruteforce.total_guesses";
   let cfg = Config.make ~pac_bits () in
   let program = Compile.compile ~scheme:Scheme.pacstack victim in
-  let rng = Rng.create seed in
   let space = Int64.to_int (Word64.mask pac_bits) + 1 in
   let total = ref 0 in
   for _ = 1 to trials do
@@ -63,9 +63,13 @@ let run ?(pac_bits = 6) ?(trials = 20) ?(seed = 0xb4c3L) () =
     in
     total := !total + guess 0
   done;
+  !total
+
+let run ?(pac_bits = 6) ?(trials = 20) ?(seed = 0xb4c3L) () =
+  let total = total_guesses ~pac_bits ~trials (Rng.create seed) in
   {
     pac_bits;
     trials;
-    mean_guesses = float_of_int !total /. float_of_int trials;
+    mean_guesses = float_of_int total /. float_of_int trials;
     expected = 2.0 ** float_of_int pac_bits;
   }

@@ -17,3 +17,8 @@ type result = {
 
 val run : ?pac_bits:int -> ?trials:int -> ?seed:int64 -> unit -> result
 (** Defaults: [pac_bits = 6], [trials = 20]. *)
+
+val total_guesses : ?pac_bits:int -> trials:int -> Pacstack_util.Rng.t -> int
+(** Shardable form of {!run}: the summed guess count over [trials]
+    end-to-end attacks driven from the given generator. Shard totals add;
+    divide by the summed trials for the campaign mean. *)

@@ -1,0 +1,77 @@
+type 'r outcome = {
+  plan_name : string;
+  seed : int64;
+  results : 'r array;
+  elapsed_s : float;
+  resumed : int;
+  workers : int;
+}
+
+let run ?(workers = 1) ?(progress = Progress.null) ?checkpoint (plan : 'r Plan.t) =
+  if workers < 1 then invalid_arg "Campaign.run: workers < 1";
+  let total = Plan.shard_count plan in
+  let manifest, prior =
+    match checkpoint with
+    | None -> (None, Array.make total None)
+    | Some (path, codec) ->
+      let file, prior = Checkpoint.open_ ~path ~codec plan in
+      (Some file, prior)
+  in
+  let resumed = Array.fold_left (fun n r -> if r = None then n else n + 1) 0 prior in
+  let pending =
+    Array.of_list
+      (List.filter (fun i -> prior.(i) = None) (List.init total (fun i -> i)))
+  in
+  let progress = if workers > 1 then Progress.synchronized progress else progress in
+  let trials_total = Plan.total_trials plan in
+  let trials_resumed =
+    Array.fold_left
+      (fun n (s : Shard.t) -> if prior.(s.Shard.index) <> None then n + s.Shard.trials else n)
+      0 plan.Plan.shards
+  in
+  progress
+    (Progress.Campaign_started
+       { name = plan.Plan.name; shards = total; trials = trials_total; workers; resumed });
+  let t0 = Unix.gettimeofday () in
+  let shards_done = Atomic.make resumed in
+  let trials_done = Atomic.make 0 in
+  let run_one k =
+    let shard = plan.Plan.shards.(pending.(k)) in
+    progress (Progress.Shard_started { name = plan.Plan.name; shard });
+    let s0 = Unix.gettimeofday () in
+    let result = plan.Plan.run shard (Shard.rng ~campaign_seed:plan.Plan.seed shard) in
+    let elapsed_s = Unix.gettimeofday () -. s0 in
+    Option.iter (fun file -> Checkpoint.record file shard result) manifest;
+    let completed = 1 + Atomic.fetch_and_add shards_done 1 in
+    let executed = shard.Shard.trials + Atomic.fetch_and_add trials_done shard.Shard.trials in
+    let wall = Unix.gettimeofday () -. t0 in
+    let rate = float_of_int executed /. Float.max wall 1e-9 in
+    let remaining = trials_total - trials_resumed - executed in
+    progress
+      (Progress.Shard_finished
+         {
+           name = plan.Plan.name;
+           shard;
+           elapsed_s;
+           trials_per_sec = float_of_int shard.Shard.trials /. Float.max elapsed_s 1e-9;
+           completed;
+           total;
+           eta_s = float_of_int remaining /. Float.max rate 1e-9;
+         });
+    result
+  in
+  let fresh = Pool.run ~workers ~tasks:(Array.length pending) run_one in
+  Option.iter Checkpoint.close manifest;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Array.iteri (fun k r -> prior.(pending.(k)) <- Some r) fresh;
+  let results = Array.map Option.get prior in
+  progress
+    (Progress.Campaign_finished
+       {
+         name = plan.Plan.name;
+         elapsed_s;
+         trials_per_sec = float_of_int (Atomic.get trials_done) /. Float.max elapsed_s 1e-9;
+       });
+  { plan_name = plan.Plan.name; seed = plan.Plan.seed; results; elapsed_s; resumed; workers }
+
+let fold outcome ~init ~f = Array.fold_left f init outcome.results

@@ -1,0 +1,45 @@
+(** The campaign engine: executes a {!Plan} on a {!Pool} of domains with
+    optional checkpoint/resume and structured {!Progress} events.
+
+    Determinism contract: for a fixed plan (name, seed, shards), the
+    [results] array is identical whatever [workers] is, whether or not the
+    run was interrupted and resumed, and in what order shards happened to
+    finish — every shard's generator is derived from the campaign seed
+    and its index only (see {!Shard.rng}), and results are reported in
+    shard-index order. *)
+
+type 'r outcome = {
+  plan_name : string;
+  seed : int64;
+  results : 'r array;  (** one result per shard, in shard-index order *)
+  elapsed_s : float;  (** wall-clock for this run (resumed shards cost 0) *)
+  resumed : int;  (** shards restored from the checkpoint manifest *)
+  workers : int;
+}
+
+val run :
+  ?workers:int ->
+  ?progress:Progress.sink ->
+  ?checkpoint:string * 'r Checkpoint.codec ->
+  'r Plan.t ->
+  'r outcome
+(** [run plan] executes every shard of [plan] and returns the merged
+    outcome.
+
+    [workers] defaults to [1]: sequential, in the calling domain, no
+    parallelism anywhere — the mode reports use by default so their
+    output is reproducible on any machine. With [workers > 1] shards are
+    distributed over an OCaml 5 domain pool.
+
+    [checkpoint] gives a manifest path and a result codec: previously
+    completed shards are loaded instead of re-run, and each newly
+    finished shard is appended and flushed, so killing the process loses
+    at most the shards in flight. Raises [Failure] if the manifest at the
+    path belongs to a different campaign.
+
+    [progress] receives structured events; it is synchronized
+    automatically when [workers > 1]. *)
+
+val fold : 'r outcome -> init:'a -> f:('a -> 'r -> 'a) -> 'a
+(** Folds over per-shard results in shard-index order — the merge step.
+    Any associative [f] therefore gives an order-independent total. *)

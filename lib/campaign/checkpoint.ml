@@ -1,0 +1,90 @@
+type 'r codec = { encode : 'r -> Json.t; decode : Json.t -> 'r option }
+
+type 'r file = { oc : out_channel; codec : 'r codec; mutex : Mutex.t }
+
+let version = 1
+
+let header (plan : _ Plan.t) =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("campaign", Json.String plan.Plan.name);
+      ("seed", Json.String (Int64.to_string plan.Plan.seed));
+      ("shards", Json.Int (Plan.shard_count plan));
+    ]
+
+let header_matches (plan : _ Plan.t) json =
+  Json.member "version" json = Some (Json.Int version)
+  && Json.member "campaign" json = Some (Json.String plan.Plan.name)
+  && Json.member "seed" json = Some (Json.String (Int64.to_string plan.Plan.seed))
+  && Json.member "shards" json = Some (Json.Int (Plan.shard_count plan))
+
+let load_existing ~path ~codec (plan : _ Plan.t) =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  match lines with
+  | [] -> Ok [||] (* empty file: treat as fresh *)
+  | header_line :: records -> (
+    match Json.parse header_line with
+    | Error e -> Error (Printf.sprintf "unreadable header: %s" e)
+    | Ok json when not (header_matches plan json) ->
+      Error "written by a different campaign (name, seed or shard count mismatch)"
+    | Ok _ ->
+      let results = Array.make (Plan.shard_count plan) None in
+      List.iter
+        (fun line ->
+          (* a torn trailing line from a crash mid-write parses as an
+             error and is simply not restored *)
+          match Json.parse line with
+          | Error _ -> ()
+          | Ok json -> (
+            match (Json.member "shard" json, Json.member "result" json) with
+            | Some idx_json, Some result_json -> (
+              match Option.bind (Json.to_int idx_json) (fun idx ->
+                        if idx < 0 || idx >= Array.length results then None
+                        else Option.map (fun r -> (idx, r)) (codec.decode result_json))
+              with
+              | Some (idx, r) -> results.(idx) <- Some r
+              | None -> ())
+            | _ -> ()))
+        records;
+      Ok results)
+
+let open_ ~path ~codec plan =
+  let existed =
+    Sys.file_exists path && In_channel.with_open_bin path In_channel.length > 0L
+  in
+  let prior =
+    if existed then
+      match load_existing ~path ~codec plan with
+      | Ok results when Array.length results > 0 -> results
+      | Ok _ -> Array.make (Plan.shard_count plan) None
+      | Error msg -> failwith (Printf.sprintf "Checkpoint %s: %s" path msg)
+    else Array.make (Plan.shard_count plan) None
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if not existed then begin
+    output_string oc (Json.to_string (header plan));
+    output_char oc '\n';
+    flush oc
+  end;
+  ({ oc; codec; mutex = Mutex.create () }, prior)
+
+let record t (shard : Shard.t) result =
+  let line =
+    Json.Obj
+      [
+        ("shard", Json.Int shard.Shard.index);
+        ("label", Json.String shard.Shard.label);
+        ("trials", Json.Int shard.Shard.trials);
+        ("result", t.codec.encode result);
+      ]
+  in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      output_string t.oc (Json.to_string line);
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = close_out t.oc

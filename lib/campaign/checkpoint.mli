@@ -1,0 +1,37 @@
+(** Crash-safe campaign manifests: resume without recomputing.
+
+    A manifest is a JSON-lines file. The first line is a header binding
+    the file to one campaign identity — name, seed and shard count:
+
+    {v
+    {"version":1,"campaign":"table1","seed":"1","shards":48}
+    {"shard":3,"label":"on-graph/unmasked#4","trials":2500,"elapsed_s":0.71,"result":{...}}
+    v}
+
+    Each subsequent line records one completed shard; lines are appended
+    and flushed as shards finish, in completion order (which is why shard
+    records carry their index). Because shard results are pure functions
+    of the campaign seed and shard index, a resumed campaign that loads
+    finished shards from the manifest and recomputes only the rest is
+    identical to an uninterrupted run. A trailing partial line (the
+    process died mid-write) is ignored on load. *)
+
+type 'r codec = {
+  encode : 'r -> Json.t;
+  decode : Json.t -> 'r option;  (** [None] rejects a malformed record *)
+}
+
+type 'r file
+
+val open_ : path:string -> codec:'r codec -> 'r Plan.t -> 'r file * 'r option array
+(** Opens (creating if absent) the manifest at [path] for the given plan
+    and returns the handle plus previously completed results indexed by
+    shard. Raises [Failure] if the file exists but its header names a
+    different campaign, seed or shard count — a stale manifest is an
+    operator error, not something to silently recompute over. *)
+
+val record : 'r file -> Shard.t -> 'r -> unit
+(** Appends one completed-shard line and flushes. Safe to call from any
+    domain (internally serialized). *)
+
+val close : 'r file -> unit

@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a printer and a parser, used for the
+    campaign checkpoint manifest and the CLI's [--json] result export.
+
+    Deliberately tiny: no streaming, no Unicode escapes beyond [\uXXXX]
+    pass-through on input, integers kept exact (separate from floats) so
+    trial counters and 64-bit seeds survive a write/read round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering (canonical for checkpoint lines). *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parses one JSON value; trailing non-whitespace is an error. Numbers
+    without [.], [e] or [E] parse as [Int], everything else as [Float]. *)
+
+(** {1 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+(** [Int n] gives [Some n]; other constructors give [None]. *)
+
+val to_float : t -> float option
+(** [Float] or [Int] (widened); [None] otherwise. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

@@ -1,0 +1,27 @@
+type 'r t = {
+  name : string;
+  seed : int64;
+  shards : Shard.t array;
+  run : Shard.t -> Pacstack_util.Rng.t -> 'r;
+}
+
+let make ~name ~seed ~shards ~run =
+  let count = Array.length shards in
+  if count = 0 then invalid_arg "Plan.make: empty shard list";
+  let shards =
+    Array.mapi
+      (fun index (label, trials) ->
+        if trials <= 0 then invalid_arg "Plan.make: non-positive shard trials";
+        { Shard.index; count; label; trials })
+      shards
+  in
+  { name; seed; shards; run }
+
+let shard_count t = Array.length t.shards
+
+let total_trials t = Array.fold_left (fun acc s -> acc + s.Shard.trials) 0 t.shards
+
+let split_trials ~trials ~shards =
+  if shards < 1 || trials < shards then invalid_arg "Plan.split_trials";
+  let base = trials / shards and extra = trials mod shards in
+  Array.init shards (fun i -> base + if i < extra then 1 else 0)

@@ -1,0 +1,37 @@
+(** A declarative description of an experiment campaign.
+
+    A plan names the campaign, fixes its seed, and lists its shards —
+    independent work units whose per-shard generators are derived from the
+    seed and shard index (see {!Shard}). Executing the same plan yields
+    the same per-shard results regardless of worker count or completion
+    order; merging is the caller's fold over the index-ordered result
+    array, so any associative merge is deterministic too. *)
+
+type 'r t = private {
+  name : string;
+  seed : int64;
+  shards : Shard.t array;
+  run : Shard.t -> Pacstack_util.Rng.t -> 'r;
+      (** Must be pure up to its [Rng.t] argument and safe to call from
+          any domain (no shared mutable state). *)
+}
+
+val make :
+  name:string ->
+  seed:int64 ->
+  shards:(string * int) array ->
+  run:(Shard.t -> Pacstack_util.Rng.t -> 'r) ->
+  'r t
+(** [make ~name ~seed ~shards ~run] builds a plan from
+    [(label, trials)] pairs, one per shard, in index order. Raises
+    [Invalid_argument] on an empty shard array or a non-positive trial
+    count. *)
+
+val shard_count : _ t -> int
+
+val total_trials : _ t -> int
+
+val split_trials : trials:int -> shards:int -> int array
+(** Deterministically partitions [trials] into [shards] near-equal parts
+    (earlier shards get the remainder), summing back to [trials]. Raises
+    [Invalid_argument] unless [trials >= shards >= 1]. *)

@@ -1,0 +1,34 @@
+let default_workers () = Domain.recommended_domain_count ()
+
+type 'a slot = Empty | Done of 'a | Failed of exn
+
+let run ~workers ~tasks f =
+  if workers < 1 then invalid_arg "Pool.run: workers < 1";
+  if tasks < 0 then invalid_arg "Pool.run: tasks < 0";
+  if tasks = 0 then [||]
+  else if workers = 1 then Array.init tasks f
+  else begin
+    let results = Array.make tasks Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < tasks then begin
+          (* each slot is written by exactly one domain and read only
+             after the joins below, which synchronize *)
+          (results.(i) <- (match f i with r -> Done r | exception e -> Failed e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = Array.init (min workers tasks - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Done r -> r
+        | Failed e -> raise e
+        | Empty -> assert false)
+      results
+  end

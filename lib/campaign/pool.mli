@@ -1,0 +1,19 @@
+(** A work-stealing pool of OCaml 5 domains.
+
+    [run ~workers ~tasks f] evaluates [f i] for every [i] in
+    [0 .. tasks - 1] and returns the results in task order. Tasks are
+    claimed from a shared atomic counter, so long tasks do not stall the
+    queue behind them. [workers = 1] runs inline on the calling domain
+    (no spawn, no synchronization); with more workers,
+    [min workers tasks] domains are spawned and joined before returning.
+
+    [f] must be safe to call from any domain. An exception raised by any
+    task cancels nothing — remaining tasks still run — but the first
+    exception (by task index) is re-raised after all domains join. *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count], the sensible [--workers] default
+    for CPU-bound campaigns. *)
+
+val run : workers:int -> tasks:int -> (int -> 'a) -> 'a array
+(** Raises [Invalid_argument] if [workers < 1] or [tasks < 0]. *)

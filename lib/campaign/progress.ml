@@ -1,0 +1,46 @@
+type event =
+  | Campaign_started of {
+      name : string;
+      shards : int;
+      trials : int;
+      workers : int;
+      resumed : int;
+    }
+  | Shard_started of { name : string; shard : Shard.t }
+  | Shard_finished of {
+      name : string;
+      shard : Shard.t;
+      elapsed_s : float;
+      trials_per_sec : float;
+      completed : int;
+      total : int;
+      eta_s : float;
+    }
+  | Campaign_finished of { name : string; elapsed_s : float; trials_per_sec : float }
+
+type sink = event -> unit
+
+let null _ = ()
+
+let pp_event fmt = function
+  | Campaign_started { name; shards; trials; workers; resumed } ->
+    Format.fprintf fmt "[%s] started: %d shards, %d trials, %d worker%s%s" name shards trials
+      workers
+      (if workers = 1 then "" else "s")
+      (if resumed = 0 then "" else Format.sprintf " (%d resumed from checkpoint)" resumed)
+  | Shard_started { name; shard } -> Format.fprintf fmt "[%s] shard %a started" name Shard.pp shard
+  | Shard_finished { name; shard; elapsed_s; trials_per_sec; completed; total; eta_s } ->
+    Format.fprintf fmt "[%s] %d/%d %s: %.2fs (%.0f trials/s), ETA %.1fs" name completed total
+      shard.Shard.label elapsed_s trials_per_sec eta_s
+  | Campaign_finished { name; elapsed_s; trials_per_sec } ->
+    Format.fprintf fmt "[%s] finished in %.2fs (%.0f trials/s)" name elapsed_s trials_per_sec
+
+let formatter fmt = function
+  | Shard_started _ -> ()
+  | event -> Format.fprintf fmt "%a@." pp_event event
+
+let synchronized sink =
+  let m = Mutex.create () in
+  fun event ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> sink event)

@@ -1,0 +1,9 @@
+module Rng = Pacstack_util.Rng
+
+type t = { index : int; count : int; label : string; trials : int }
+
+let rng ~campaign_seed t =
+  if t.index < 0 || t.index >= t.count then invalid_arg "Shard.rng";
+  (Rng.split_n (Rng.create campaign_seed) t.count).(t.index)
+
+let pp fmt t = Format.fprintf fmt "%s (%d/%d, %d trials)" t.label (t.index + 1) t.count t.trials

@@ -1,0 +1,21 @@
+(** One independent unit of campaign work and its seed discipline.
+
+    A shard is identified by its index within a plan; its generator is
+    derived from the campaign seed and that index alone, never from
+    execution order. That makes a parallel run of a plan bitwise-identical
+    to a sequential run: whichever domain picks up shard [i], and whenever
+    it runs, shard [i] draws exactly the stream
+    [(Rng.split_n (Rng.create seed) count).(i)]. *)
+
+type t = {
+  index : int;  (** position within the plan, [0 <= index < count] *)
+  count : int;  (** total number of shards in the plan *)
+  label : string;  (** human-readable name, e.g. ["on-graph/masked#3"] *)
+  trials : int;  (** work units in this shard (drives progress/ETA) *)
+}
+
+val rng : campaign_seed:int64 -> t -> Pacstack_util.Rng.t
+(** The shard's private generator, a pure function of
+    [(campaign_seed, index, count)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -15,6 +15,11 @@ let estimate ~successes ~trials =
   let ci_low, ci_high = Stats.binomial_ci ~successes ~trials in
   { successes; trials; rate = float_of_int successes /. float_of_int trials; ci_low; ci_high }
 
+(* Pooling two binomial samples is associative and commutative on the
+   (successes, trials) pair; the derived fields are recomputed, so merged
+   shard estimates are identical however the campaign ordered them. *)
+let merge_estimates a b = estimate ~successes:(a.successes + b.successes) ~trials:(a.trials + b.trials)
+
 let pp_estimate fmt e =
   Format.fprintf fmt "%d/%d = %.2e [%.2e, %.2e]" e.successes e.trials e.rate e.ci_low e.ci_high
 
@@ -24,8 +29,8 @@ let token prf ~bits ~data ~modifier = Prf.mac prf ~bits ~data ~modifier
 
 (* --- §6.2.1 birthday harvesting -------------------------------------- *)
 
-let birthday_harvest ?(bits = 16) ~trials rng =
-  if trials <= 0 then invalid_arg "Games.birthday_harvest";
+let birthday_total ?(bits = 16) ~trials rng =
+  if trials <= 0 then invalid_arg "Games.birthday_total";
   let total = ref 0 in
   for _ = 1 to trials do
     let prf = fresh_prf rng in
@@ -42,7 +47,11 @@ let birthday_harvest ?(bits = 16) ~trials rng =
     in
     total := !total + harvest 0
   done;
-  float_of_int !total /. float_of_int trials
+  !total
+
+let birthday_harvest ?bits ~trials rng =
+  if trials <= 0 then invalid_arg "Games.birthday_harvest";
+  float_of_int (birthday_total ?bits ~trials rng) /. float_of_int trials
 
 (* --- Table 1 cells ---------------------------------------------------- *)
 
@@ -214,8 +223,8 @@ let pp_guess_strategy fmt = function
   | Reseeded -> Format.pp_print_string fmt "re-seeded chains"
   | Independent -> Format.pp_print_string fmt "independent joint guess"
 
-let guessing_mean ~strategy ~bits ~trials rng =
-  if trials <= 0 then invalid_arg "Games.guessing_mean";
+let guessing_total ~strategy ~bits ~trials rng =
+  if trials <= 0 then invalid_arg "Games.guessing_total";
   let space = Int64.to_int (Word64.mask bits) + 1 in
   let total = ref 0 in
   for _ = 1 to trials do
@@ -251,4 +260,8 @@ let guessing_mean ~strategy ~bits ~trials rng =
       go ());
     total := !total + !guesses
   done;
-  float_of_int !total /. float_of_int trials
+  !total
+
+let guessing_mean ~strategy ~bits ~trials rng =
+  if trials <= 0 then invalid_arg "Games.guessing_mean";
+  float_of_int (guessing_total ~strategy ~bits ~trials rng) /. float_of_int trials

@@ -15,12 +15,25 @@ type estimate = {
 
 val pp_estimate : Format.formatter -> estimate -> unit
 
+val estimate : successes:int -> trials:int -> estimate
+(** Wraps a raw (successes, trials) count, deriving rate and interval. *)
+
+val merge_estimates : estimate -> estimate -> estimate
+(** Pools two binomial samples. Associative and commutative, so shard
+    estimates from a parallel campaign merge to the same total in any
+    order; rate and interval are recomputed from the pooled counts. *)
+
 (** {1 §6.2.1 — collisions} *)
 
 val birthday_harvest : ?bits:int -> trials:int -> Pacstack_util.Rng.t -> float
 (** Mean number of tokens an adversary must harvest before two (unmasked)
     tokens collide. [bits] defaults to 16; the paper's expectation is
     ≈ 321. *)
+
+val birthday_total : ?bits:int -> trials:int -> Pacstack_util.Rng.t -> int
+(** Shardable form of {!birthday_harvest}: the summed harvest count over
+    [trials] runs. Shard totals add; divide by the summed trials for the
+    campaign mean. *)
 
 val violation_success :
   masked:bool ->
@@ -72,3 +85,9 @@ val guessing_mean :
 (** Measured mean number of guesses until the adversary can jump to an
     arbitrary address. Expectations: ≈ 2^b, 2^(b+1) and 2^(2b)
     respectively (§4.3). *)
+
+val guessing_total :
+  strategy:guess_strategy -> bits:int -> trials:int -> Pacstack_util.Rng.t -> int
+(** Shardable form of {!guessing_mean}: the summed guess count over
+    [trials] attacks. Shard totals add; divide by the summed trials for
+    the campaign mean. *)

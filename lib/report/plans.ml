@@ -1,0 +1,532 @@
+module Rng = Pacstack_util.Rng
+module Analysis = Pacstack_acs.Analysis
+module Games = Pacstack_acs.Games
+module Scheme = Pacstack_harden.Scheme
+module Speclike = Pacstack_workloads.Speclike
+module Server = Pacstack_workloads.Server
+module Bruteforce = Pacstack_attacker.Bruteforce
+module Campaign = Pacstack_campaign.Campaign
+module Plan = Pacstack_campaign.Plan
+module Shard = Pacstack_campaign.Shard
+module Checkpoint = Pacstack_campaign.Checkpoint
+module Progress = Pacstack_campaign.Progress
+module Json = Pacstack_campaign.Json
+
+let scaled scale trials = max 1 (int_of_float ((float_of_int trials *. scale) +. 0.5))
+
+(* --- Table 1 ------------------------------------------------------------ *)
+
+let table1_cells =
+  [
+    (Analysis.On_graph, false, 8, 20_000);
+    (Analysis.On_graph, true, 8, 60_000);
+    (Analysis.Off_graph_to_call_site, false, 8, 200_000);
+    (Analysis.Off_graph_to_call_site, true, 8, 200_000);
+    (Analysis.Off_graph_arbitrary, false, 5, 400_000);
+    (Analysis.Off_graph_arbitrary, true, 5, 400_000);
+  ]
+
+let cell_label (kind, masked, _, _) =
+  Format.asprintf "%a/%s" Analysis.pp_violation_kind kind
+    (if masked then "masked" else "unmasked")
+
+let table1_plan ?(scale = 1.0) ?(shards_per_cell = 8) ~seed () =
+  (* specs.(shard_index) tells the shard which cell it belongs to; the
+     shard structure is a pure function of (cells, scale, shards_per_cell),
+     never of worker count, which is what makes parallel runs replayable *)
+  let specs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun cell ((kind, masked, bits, trials) as row) ->
+              let trials = scaled scale trials in
+              let parts = min shards_per_cell trials in
+              Array.to_list
+                (Array.mapi
+                   (fun i part ->
+                     (Printf.sprintf "%s#%d" (cell_label row) i, part, cell, kind, masked, bits))
+                   (Plan.split_trials ~trials ~shards:parts)))
+            table1_cells))
+  in
+  Plan.make ~name:"table1" ~seed
+    ~shards:(Array.map (fun (label, trials, _, _, _, _) -> (label, trials)) specs)
+    ~run:(fun shard rng ->
+      let _, trials, cell, kind, masked, bits = specs.(shard.Shard.index) in
+      (cell, Games.violation_success ~masked ~kind ~bits ~harvest:600 ~trials rng))
+
+let table1_codec =
+  {
+    Checkpoint.encode =
+      (fun (cell, (e : Games.estimate)) ->
+        Json.Obj
+          [
+            ("cell", Json.Int cell);
+            ("successes", Json.Int e.Games.successes);
+            ("trials", Json.Int e.Games.trials);
+          ]);
+    decode =
+      (fun json ->
+        match
+          ( Option.bind (Json.member "cell" json) Json.to_int,
+            Option.bind (Json.member "successes" json) Json.to_int,
+            Option.bind (Json.member "trials" json) Json.to_int )
+        with
+        | Some cell, Some successes, Some trials ->
+          Some (cell, Games.estimate ~successes ~trials)
+        | _ -> None);
+  }
+
+let table1_estimates outcome =
+  let cells = Array.make (List.length table1_cells) None in
+  Campaign.fold outcome ~init:() ~f:(fun () (cell, est) ->
+      cells.(cell) <-
+        Some (match cells.(cell) with None -> est | Some acc -> Games.merge_estimates acc est));
+  Array.map Option.get cells
+
+(* --- birthday harvest --------------------------------------------------- *)
+
+let birthday_plan ?(scale = 1.0) ?(shards = 8) ~seed () =
+  let trials = scaled scale 400 in
+  let shards = min shards trials in
+  let parts = Plan.split_trials ~trials ~shards in
+  Plan.make ~name:"birthday" ~seed
+    ~shards:(Array.mapi (fun i part -> (Printf.sprintf "harvest#%d" i, part)) parts)
+    ~run:(fun shard rng -> Games.birthday_total ~bits:16 ~trials:shard.Shard.trials rng)
+
+let int_codec =
+  {
+    Checkpoint.encode = (fun total -> Json.Int total);
+    decode = Json.to_int;
+  }
+
+let birthday_codec = int_codec
+
+let birthday_mean ~plan outcome =
+  float_of_int (Campaign.fold outcome ~init:0 ~f:( + ))
+  /. float_of_int (Plan.total_trials plan)
+
+(* --- guessing games and the machine brute force ------------------------- *)
+
+let guessing_rows =
+  [
+    (Games.Divide_and_conquer, 8, 4000);
+    (Games.Reseeded, 8, 4000);
+    (Games.Independent, 6, 600);
+  ]
+
+let guessing_plan ?(scale = 1.0) ?(shards_per_strategy = 4) ~seed () =
+  let specs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun row (strategy, bits, trials) ->
+              let trials = scaled scale trials in
+              let parts = min shards_per_strategy trials in
+              Array.to_list
+                (Array.mapi
+                   (fun i part ->
+                     ( Format.asprintf "%a#%d" Games.pp_guess_strategy strategy i,
+                       part, row, strategy, bits ))
+                   (Plan.split_trials ~trials ~shards:parts)))
+            guessing_rows))
+  in
+  Plan.make ~name:"guessing" ~seed
+    ~shards:(Array.map (fun (label, trials, _, _, _) -> (label, trials)) specs)
+    ~run:(fun shard rng ->
+      let _, trials, row, strategy, bits = specs.(shard.Shard.index) in
+      (row, Games.guessing_total ~strategy ~bits ~trials rng))
+
+let guessing_codec =
+  {
+    Checkpoint.encode =
+      (fun (row, total) -> Json.Obj [ ("strategy", Json.Int row); ("guesses", Json.Int total) ]);
+    decode =
+      (fun json ->
+        match
+          ( Option.bind (Json.member "strategy" json) Json.to_int,
+            Option.bind (Json.member "guesses" json) Json.to_int )
+        with
+        | Some row, Some total -> Some (row, total)
+        | _ -> None);
+  }
+
+let guessing_means ~plan outcome =
+  let rows = List.length guessing_rows in
+  let totals = Array.make rows 0 and trials = Array.make rows 0 in
+  Array.iteri
+    (fun i (row, total) ->
+      totals.(row) <- totals.(row) + total;
+      trials.(row) <- trials.(row) + plan.Plan.shards.(i).Shard.trials)
+    outcome.Campaign.results;
+  Array.map2 (fun t n -> float_of_int t /. float_of_int (max 1 n)) totals trials
+
+let bruteforce_plan ?(scale = 1.0) ?(pac_bits = 6) ?(shards = 5) ~seed () =
+  let trials = scaled scale 15 in
+  let shards = min shards trials in
+  let parts = Plan.split_trials ~trials ~shards in
+  Plan.make ~name:"bruteforce" ~seed
+    ~shards:(Array.mapi (fun i part -> (Printf.sprintf "siblings#%d" i, part)) parts)
+    ~run:(fun shard rng -> Bruteforce.total_guesses ~pac_bits ~trials:shard.Shard.trials rng)
+
+let bruteforce_codec = int_codec
+
+(* --- overhead sweeps ----------------------------------------------------- *)
+
+let spec_schemes = Scheme.all
+
+let spec_plan ~seed () =
+  let cells =
+    Array.of_list (Speclike.sweep_cells ~variants:[ Speclike.Rate ] ~schemes:spec_schemes)
+  in
+  Plan.make ~name:"spec" ~seed
+    ~shards:
+      (Array.map
+         (fun (variant, bench, scheme) ->
+           ( Printf.sprintf "%s/%s/%s" (Speclike.variant_to_string variant) bench
+               (Scheme.to_string scheme),
+             1 ))
+         cells)
+    ~run:(fun shard _rng ->
+      let variant, bench, scheme = cells.(shard.Shard.index) in
+      Speclike.measure_cell ~variant ~scheme bench)
+
+let variant_of_string = function
+  | "rate" -> Some Speclike.Rate
+  | "speed" -> Some Speclike.Speed
+  | _ -> None
+
+let spec_codec =
+  {
+    Checkpoint.encode =
+      (fun (m : Speclike.measurement) ->
+        Json.Obj
+          [
+            ("bench", Json.String m.Speclike.bench);
+            ("variant", Json.String (Speclike.variant_to_string m.Speclike.variant));
+            ("scheme", Json.String (Scheme.to_string m.Speclike.scheme));
+            ("cycles", Json.Int m.Speclike.cycles);
+            ("instructions", Json.Int m.Speclike.instructions);
+            ("mem_ops", Json.Int m.Speclike.mem_ops);
+            ("checksum", Json.String (Int64.to_string m.Speclike.checksum));
+          ]);
+    decode =
+      (fun json ->
+        let str k = Option.bind (Json.member k json) Json.to_str in
+        let int k = Option.bind (Json.member k json) Json.to_int in
+        match
+          ( str "bench",
+            Option.bind (str "variant") variant_of_string,
+            Option.bind (str "scheme") Scheme.of_string,
+            int "cycles", int "instructions", int "mem_ops",
+            Option.bind (str "checksum") Int64.of_string_opt )
+        with
+        | Some bench, Some variant, Some scheme, Some cycles, Some instructions,
+          Some mem_ops, Some checksum ->
+          Some { Speclike.bench; variant; scheme; cycles; instructions; mem_ops; checksum }
+        | _ -> None);
+  }
+
+let server_plan ~seed () =
+  let cells = Array.of_list (Server.sweep_cells ()) in
+  Plan.make ~name:"server" ~seed
+    ~shards:
+      (Array.map
+         (fun (workers, scheme) ->
+           (Printf.sprintf "%dw/%s" workers (Scheme.to_string scheme), 1))
+         cells)
+    ~run:(fun shard _rng ->
+      let workers, scheme = cells.(shard.Shard.index) in
+      Server.measure ~scheme ~workers ())
+
+let server_codec =
+  {
+    Checkpoint.encode =
+      (fun (r : Server.result) ->
+        Json.Obj
+          [
+            ("scheme", Json.String (Scheme.to_string r.Server.scheme));
+            ("workers", Json.Int r.Server.workers);
+            ("req_per_sec", Json.Float r.Server.req_per_sec);
+            ("sigma", Json.Float r.Server.sigma);
+            ("cycles_per_request", Json.Float r.Server.cycles_per_request);
+            ("mem_ops_per_request", Json.Float r.Server.mem_ops_per_request);
+          ]);
+    decode =
+      (fun json ->
+        let flt k = Option.bind (Json.member k json) Json.to_float in
+        match
+          ( Option.bind (Option.bind (Json.member "scheme" json) Json.to_str) Scheme.of_string,
+            Option.bind (Json.member "workers" json) Json.to_int,
+            flt "req_per_sec", flt "sigma", flt "cycles_per_request", flt "mem_ops_per_request" )
+        with
+        | Some scheme, Some workers, Some req_per_sec, Some sigma, Some cycles_per_request,
+          Some mem_ops_per_request ->
+          Some
+            { Server.scheme; workers; req_per_sec; sigma; cycles_per_request; mem_ops_per_request }
+        | _ -> None);
+  }
+
+(* --- uniform CLI entries -------------------------------------------------- *)
+
+type entry = {
+  name : string;
+  doc : string;
+  default_seed : int64;
+  execute :
+    workers:int ->
+    seed:int64 ->
+    checkpoint:string option ->
+    progress:Progress.sink ->
+    Format.formatter ->
+    Json.t;
+}
+
+let with_checkpoint checkpoint codec = Option.map (fun path -> (path, codec)) checkpoint
+
+let outcome_header (o : _ Campaign.outcome) =
+  [
+    ("campaign", Json.String o.Campaign.plan_name);
+    ("seed", Json.String (Int64.to_string o.Campaign.seed));
+    ("workers", Json.Int o.Campaign.workers);
+    ("elapsed_s", Json.Float o.Campaign.elapsed_s);
+    ("resumed_shards", Json.Int o.Campaign.resumed);
+  ]
+
+let table1_entry =
+  {
+    name = "table1";
+    doc = "Table 1 violation-success probabilities";
+    default_seed = 1L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = table1_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress ?checkpoint:(with_checkpoint checkpoint table1_codec)
+            plan
+        in
+        let per_cell = table1_estimates outcome in
+        Format.fprintf fmt "%-34s %-8s %-6s %-12s %-12s@." "violation" "masking" "b"
+          "paper(theory)" "measured";
+        List.iteri
+          (fun i (kind, masked, bits, _) ->
+            Format.fprintf fmt "%-34s %-8b %-6d %-12.2e %-12.2e@."
+              (Format.asprintf "%a" Analysis.pp_violation_kind kind)
+              masked bits
+              (Analysis.table1_success_probability ~masked kind ~bits)
+              per_cell.(i).Games.rate)
+          table1_cells;
+        Json.Obj
+          (outcome_header outcome
+          @ [
+              ( "cells",
+                Json.List
+                  (List.mapi
+                     (fun i (kind, masked, bits, _) ->
+                       Json.Obj
+                         [
+                           ("violation", Json.String (Format.asprintf "%a" Analysis.pp_violation_kind kind));
+                           ("masked", Json.Bool masked);
+                           ("bits", Json.Int bits);
+                           ("successes", Json.Int per_cell.(i).Games.successes);
+                           ("trials", Json.Int per_cell.(i).Games.trials);
+                           ("rate", Json.Float per_cell.(i).Games.rate);
+                         ])
+                     table1_cells) );
+            ]));
+  }
+
+let birthday_entry =
+  {
+    name = "birthday";
+    doc = "§6.2.1 tokens harvested until a PAC collision";
+    default_seed = 2L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = birthday_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress
+            ?checkpoint:(with_checkpoint checkpoint birthday_codec) plan
+        in
+        let mean = birthday_mean ~plan outcome in
+        Format.fprintf fmt
+          "tokens harvested until PAC collision (b=16): measured %.1f, paper ~%.1f@." mean
+          (Analysis.collision_harvest_mean ~bits:16);
+        Json.Obj
+          (outcome_header outcome
+          @ [ ("mean_harvest", Json.Float mean); ("bits", Json.Int 16) ]));
+  }
+
+let expected_guesses strategy bits =
+  match strategy with
+  | Games.Divide_and_conquer -> Analysis.guesses_divide_and_conquer ~bits
+  | Games.Reseeded -> Analysis.guesses_reseeded ~bits
+  | Games.Independent -> Analysis.guesses_independent ~bits
+
+let guessing_entry =
+  {
+    name = "guessing";
+    doc = "§4.3 guessing strategies (model-level)";
+    default_seed = 3L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = guessing_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress
+            ?checkpoint:(with_checkpoint checkpoint guessing_codec) plan
+        in
+        let means = guessing_means ~plan outcome in
+        Format.fprintf fmt "%-38s %-6s %12s %12s@." "strategy" "b" "measured" "expected";
+        List.iteri
+          (fun i (strategy, bits, _) ->
+            Format.fprintf fmt "%-38s %-6d %12.0f %12.0f@."
+              (Format.asprintf "%a" Games.pp_guess_strategy strategy)
+              bits means.(i) (expected_guesses strategy bits))
+          guessing_rows;
+        Json.Obj
+          (outcome_header outcome
+          @ [
+              ( "strategies",
+                Json.List
+                  (List.mapi
+                     (fun i (strategy, bits, _) ->
+                       Json.Obj
+                         [
+                           ( "strategy",
+                             Json.String (Format.asprintf "%a" Games.pp_guess_strategy strategy) );
+                           ("bits", Json.Int bits);
+                           ("mean_guesses", Json.Float means.(i));
+                           ("expected", Json.Float (expected_guesses strategy bits));
+                         ])
+                     guessing_rows) );
+            ]));
+  }
+
+let bruteforce_entry =
+  {
+    name = "bruteforce";
+    doc = "§4.3 end-to-end forked-sibling attack on the machine";
+    default_seed = 3L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = bruteforce_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress
+            ?checkpoint:(with_checkpoint checkpoint bruteforce_codec) plan
+        in
+        let trials = Plan.total_trials plan in
+        let mean = float_of_int (Campaign.fold outcome ~init:0 ~f:( + )) /. float_of_int trials in
+        Format.fprintf fmt
+          "end-to-end forked-sibling attack (machine, b=6): %.0f guesses/success (expectation %.0f)@."
+          mean (2.0 ** 6.0);
+        Json.Obj
+          (outcome_header outcome
+          @ [
+              ("pac_bits", Json.Int 6);
+              ("trials", Json.Int trials);
+              ("mean_guesses", Json.Float mean);
+            ]));
+  }
+
+let spec_entry =
+  {
+    name = "spec";
+    doc = "SPECrate-like overhead sweep (benchmark x scheme grid)";
+    default_seed = 0L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = spec_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress ?checkpoint:(with_checkpoint checkpoint spec_codec)
+            plan
+        in
+        let results = outcome.Campaign.results in
+        let baseline_of bench =
+          let m =
+            Array.to_list results
+            |> List.find (fun (m : Speclike.measurement) ->
+                   m.Speclike.bench = bench && Scheme.equal m.Speclike.scheme Scheme.Unprotected)
+          in
+          m
+        in
+        Format.fprintf fmt "%-14s %-24s %12s %10s@." "benchmark" "scheme" "cycles" "overhead";
+        Array.iter
+          (fun (m : Speclike.measurement) ->
+            Format.fprintf fmt "%-14s %-24s %12d %9.2f%%@." m.Speclike.bench
+              (Scheme.to_string m.Speclike.scheme)
+              m.Speclike.cycles
+              (Speclike.overhead_pct ~baseline:(baseline_of m.Speclike.bench) m))
+          results;
+        Json.Obj
+          (outcome_header outcome
+          @ [
+              ( "cells",
+                Json.List
+                  (Array.to_list
+                     (Array.map
+                        (fun (m : Speclike.measurement) ->
+                          Json.Obj
+                            [
+                              ("bench", Json.String m.Speclike.bench);
+                              ("scheme", Json.String (Scheme.to_string m.Speclike.scheme));
+                              ("cycles", Json.Int m.Speclike.cycles);
+                              ( "overhead_pct",
+                                Json.Float
+                                  (Speclike.overhead_pct ~baseline:(baseline_of m.Speclike.bench) m)
+                              );
+                            ])
+                        results)) );
+            ]));
+  }
+
+let server_entry =
+  {
+    name = "server";
+    doc = "Table 3 server-throughput sweep (workers x scheme grid)";
+    default_seed = 0L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = server_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress ?checkpoint:(with_checkpoint checkpoint server_codec)
+            plan
+        in
+        let results = outcome.Campaign.results in
+        let baseline_of workers =
+          Array.to_list results
+          |> List.find (fun (r : Server.result) ->
+                 r.Server.workers = workers && Scheme.equal r.Server.scheme Scheme.Unprotected)
+        in
+        Format.fprintf fmt "%-8s %-18s %12s %10s@." "workers" "scheme" "req/s" "overhead";
+        Array.iter
+          (fun (r : Server.result) ->
+            Format.fprintf fmt "%-8d %-18s %11.1fk %9.1f%%@." r.Server.workers
+              (Scheme.to_string r.Server.scheme)
+              (r.Server.req_per_sec /. 1000.0)
+              (Server.overhead_pct ~baseline:(baseline_of r.Server.workers) r))
+          results;
+        Json.Obj
+          (outcome_header outcome
+          @ [
+              ( "cells",
+                Json.List
+                  (Array.to_list
+                     (Array.map
+                        (fun (r : Server.result) ->
+                          Json.Obj
+                            [
+                              ("workers", Json.Int r.Server.workers);
+                              ("scheme", Json.String (Scheme.to_string r.Server.scheme));
+                              ("req_per_sec", Json.Float r.Server.req_per_sec);
+                              ( "overhead_pct",
+                                Json.Float
+                                  (Server.overhead_pct ~baseline:(baseline_of r.Server.workers) r)
+                              );
+                            ])
+                        results)) );
+            ]));
+  }
+
+let entries =
+  [ table1_entry; birthday_entry; guessing_entry; bruteforce_entry; spec_entry; server_entry ]
+
+let find name = List.find_opt (fun e -> e.name = name) entries

@@ -1,0 +1,101 @@
+(** Campaign plans for the paper's Monte-Carlo experiments and sweeps.
+
+    Each plan turns one experiment into independent shards for the
+    {!Pacstack_campaign} engine: the Table 1 violation games, the §6.2.1
+    birthday harvest, the §4.3 guessing games, the end-to-end machine
+    brute force, and the SPEC-like / server overhead sweeps. Every plan
+    comes with a checkpoint codec and a merge helper, plus a uniform
+    {!entry} wrapper that the CLI's [campaign] subcommand and {!Report}
+    drive.
+
+    [?scale] on the stochastic plans multiplies trial counts (down for
+    tests and micro-benchmarks, up for production-size hunts) without
+    changing the shard structure. *)
+
+module Campaign = Pacstack_campaign.Campaign
+module Plan = Pacstack_campaign.Plan
+module Checkpoint = Pacstack_campaign.Checkpoint
+module Progress = Pacstack_campaign.Progress
+module Json = Pacstack_campaign.Json
+
+(** {1 Table 1 — violation-success probabilities} *)
+
+val table1_cells : (Pacstack_acs.Analysis.violation_kind * bool * int * int) list
+(** The six Table 1 cells as [(kind, masked, bits, trials)]. *)
+
+val table1_plan :
+  ?scale:float -> ?shards_per_cell:int -> seed:int64 -> unit ->
+  (int * Pacstack_acs.Games.estimate) Plan.t
+(** Each cell's trials split over [shards_per_cell] (default 8) shards;
+    a shard reports [(cell_index, estimate)]. *)
+
+val table1_codec : (int * Pacstack_acs.Games.estimate) Checkpoint.codec
+
+val table1_estimates :
+  (int * Pacstack_acs.Games.estimate) Campaign.outcome -> Pacstack_acs.Games.estimate array
+(** Per-cell pooled estimates, in {!table1_cells} order. *)
+
+(** {1 §6.2.1 — birthday harvest} *)
+
+val birthday_plan : ?scale:float -> ?shards:int -> seed:int64 -> unit -> int Plan.t
+(** Shards report summed harvest counts; default 8 shards over 400
+    trials at [b = 16]. *)
+
+val birthday_codec : int Checkpoint.codec
+
+val birthday_mean : plan:int Plan.t -> int Campaign.outcome -> float
+(** Mean tokens harvested until collision, over the plan's total trials. *)
+
+(** {1 §4.3 — guessing games and the machine brute force} *)
+
+val guessing_rows : (Pacstack_acs.Games.guess_strategy * int * int) list
+(** [(strategy, bits, trials)] — the three strategies Report prints. *)
+
+val guessing_plan :
+  ?scale:float -> ?shards_per_strategy:int -> seed:int64 -> unit -> (int * int) Plan.t
+(** Shards report [(strategy_index, summed_guesses)]. *)
+
+val guessing_codec : (int * int) Checkpoint.codec
+
+val guessing_means : plan:(int * int) Plan.t -> (int * int) Campaign.outcome -> float array
+(** Mean guesses per strategy, in {!guessing_rows} order. *)
+
+val bruteforce_plan :
+  ?scale:float -> ?pac_bits:int -> ?shards:int -> seed:int64 -> unit -> int Plan.t
+(** The end-to-end forked-sibling attack on the simulated machine;
+    default 5 shards of 3 trials at [pac_bits = 6]. *)
+
+val bruteforce_codec : int Checkpoint.codec
+
+(** {1 Overhead sweeps} *)
+
+val spec_plan : seed:int64 -> unit -> Pacstack_workloads.Speclike.measurement Plan.t
+(** One shard per (benchmark × scheme) cell of the SPECrate-like sweep,
+    baseline included. Deterministic — the shard RNG is unused. *)
+
+val spec_codec : Pacstack_workloads.Speclike.measurement Checkpoint.codec
+
+val server_plan : seed:int64 -> unit -> Pacstack_workloads.Server.result Plan.t
+(** One shard per (workers × scheme) Table 3 cell. *)
+
+val server_codec : Pacstack_workloads.Server.result Checkpoint.codec
+
+(** {1 Uniform CLI entries} *)
+
+type entry = {
+  name : string;
+  doc : string;
+  default_seed : int64;
+  execute :
+    workers:int ->
+    seed:int64 ->
+    checkpoint:string option ->
+    progress:Progress.sink ->
+    Format.formatter ->
+    Json.t;
+      (** Runs the campaign, prints a human-readable summary to the
+          formatter, and returns the merged results as JSON. *)
+}
+
+val entries : entry list
+val find : string -> entry option

@@ -18,33 +18,30 @@ module Machine = Pacstack_machine.Machine
 module Unwind = Pacstack_machine.Unwind
 module Compile = Pacstack_minic.Compile
 
+module Campaign = Pacstack_campaign.Campaign
+
 let section fmt title = Format.fprintf fmt "@.=== %s ===@." title
 
 (* --- Table 1 ----------------------------------------------------------- *)
 
-let table1 ?(seed = 1L) fmt =
+(* Routed through the campaign engine: the per-cell trials are sharded
+   by Plans.table1_plan, so the same table can be regenerated on one
+   worker (the default — sequential, reproducible anywhere) or on many
+   with bitwise-identical numbers. *)
+let table1 ?(seed = 1L) ?(workers = 1) ?progress fmt =
   section fmt "Table 1: max success probability of call-stack integrity violations";
-  let rng = Rng.create seed in
-  let cells =
-    [
-      (Analysis.On_graph, false, 8, 20_000);
-      (Analysis.On_graph, true, 8, 60_000);
-      (Analysis.Off_graph_to_call_site, false, 8, 200_000);
-      (Analysis.Off_graph_to_call_site, true, 8, 200_000);
-      (Analysis.Off_graph_arbitrary, false, 5, 400_000);
-      (Analysis.Off_graph_arbitrary, true, 5, 400_000);
-    ]
-  in
+  let plan = Plans.table1_plan ~seed () in
+  let outcome = Campaign.run ~workers ?progress plan in
+  let per_cell = Plans.table1_estimates outcome in
   Format.fprintf fmt "%-34s %-8s %-6s %-12s %-12s@." "violation" "masking" "b" "paper(theory)"
     "measured";
-  List.iter
-    (fun (kind, masked, bits, trials) ->
+  List.iteri
+    (fun i (kind, masked, bits, _trials) ->
       let theory = Analysis.table1_success_probability ~masked kind ~bits in
-      let est = Games.violation_success ~masked ~kind ~bits ~harvest:600 ~trials rng in
       Format.fprintf fmt "%-34s %-8b %-6d %-12.2e %-12.2e@."
         (Format.asprintf "%a" Analysis.pp_violation_kind kind)
-        masked bits theory est.Games.rate)
-    cells
+        masked bits theory per_cell.(i).Games.rate)
+    Plans.table1_cells
 
 (* --- Table 2 / Figure 5 ------------------------------------------------ *)
 
@@ -180,10 +177,14 @@ let reuse_matrix fmt =
       Format.fprintf fmt "@.")
     (Reuse.matrix ())
 
-let birthday ?(seed = 2L) fmt =
+let birthday ?(seed = 2L) ?(workers = 1) ?progress fmt =
   section fmt "Collisions (paper 6.2.1) and mask hiding (Appendix A)";
+  (* the harvest is sharded through the campaign engine; the Appendix A
+     distinguisher games stay sequential on their own stream *)
+  let plan = Plans.birthday_plan ~seed () in
+  let outcome = Campaign.run ~workers ?progress plan in
+  let measured = Plans.birthday_mean ~plan outcome in
   let rng = Rng.create seed in
-  let measured = Games.birthday_harvest ~bits:16 ~trials:400 rng in
   Format.fprintf fmt "tokens harvested until PAC collision (b=16): measured %.1f, paper ~%.1f@."
     measured
     (Analysis.collision_harvest_mean ~bits:16);
@@ -195,25 +196,30 @@ let birthday ?(seed = 2L) fmt =
     "Theorem 1 (Appendix A): collision adv %.4f <= 2 x distinguisher adv + slack = %.4f: %b@."
     th.Games.collision_advantage th.Games.bound th.Games.holds
 
-let bruteforce ?(seed = 3L) fmt =
+let bruteforce ?(seed = 3L) ?(workers = 1) ?progress fmt =
   section fmt "Brute-force guessing (paper 4.3)";
-  let rng = Rng.create seed in
+  let guessing = Plans.guessing_plan ~seed () in
+  let means = Plans.guessing_means ~plan:guessing (Campaign.run ~workers ?progress guessing) in
   Format.fprintf fmt "%-38s %-6s %12s %12s@." "strategy" "b" "measured" "expected";
-  List.iter
-    (fun (strategy, bits, trials, expected) ->
-      let mean = Games.guessing_mean ~strategy ~bits ~trials rng in
+  List.iteri
+    (fun i (strategy, bits, _trials) ->
+      let expected =
+        match strategy with
+        | Games.Divide_and_conquer -> Analysis.guesses_divide_and_conquer ~bits
+        | Games.Reseeded -> Analysis.guesses_reseeded ~bits
+        | Games.Independent -> Analysis.guesses_independent ~bits
+      in
       Format.fprintf fmt "%-38s %-6d %12.0f %12.0f@."
         (Format.asprintf "%a" Games.pp_guess_strategy strategy)
-        bits mean expected)
-    [
-      (Games.Divide_and_conquer, 8, 4000, Analysis.guesses_divide_and_conquer ~bits:8);
-      (Games.Reseeded, 8, 4000, Analysis.guesses_reseeded ~bits:8);
-      (Games.Independent, 6, 600, Analysis.guesses_independent ~bits:6);
-    ];
-  let r = Bruteforce.run ~pac_bits:6 ~trials:15 ~seed () in
+        bits means.(i) expected)
+    Plans.guessing_rows;
+  let machine = Plans.bruteforce_plan ~seed () in
+  let outcome = Campaign.run ~workers ?progress machine in
+  let trials = Pacstack_campaign.Plan.total_trials machine in
+  let mean = float_of_int (Campaign.fold outcome ~init:0 ~f:( + )) /. float_of_int trials in
   Format.fprintf fmt
     "end-to-end forked-sibling attack (machine, b=%d): %.0f guesses/success (geometric mean expectation %.0f)@."
-    r.Bruteforce.pac_bits r.Bruteforce.mean_guesses r.Bruteforce.expected
+    6 mean (2.0 ** 6.0)
 
 let gadget fmt =
   section fmt "PA signing gadget (paper 6.3.1)";
@@ -371,13 +377,13 @@ let confirm fmt =
       Format.fprintf fmt "@.")
     Confirm.all
 
-let all ?(seed = 1L) fmt =
-  table1 ~seed fmt;
+let all ?(seed = 1L) ?(workers = 1) fmt =
+  table1 ~seed ~workers fmt;
   table2_and_figure5 fmt;
   table3 fmt;
   reuse_matrix fmt;
-  birthday ~seed fmt;
-  bruteforce ~seed fmt;
+  birthday ~seed ~workers fmt;
+  bruteforce ~seed ~workers fmt;
   gadget fmt;
   sigreturn fmt;
   unwind_demo fmt;

@@ -4,10 +4,13 @@
     the paper's numbers with the measured ones; {!all} prints everything.
     All experiments are deterministic for a fixed [seed]. *)
 
-val table1 : ?seed:int64 -> Format.formatter -> unit
+val table1 :
+  ?seed:int64 -> ?workers:int -> ?progress:Pacstack_campaign.Progress.sink ->
+  Format.formatter -> unit
 (** Table 1: maximum success probability of call-stack integrity
     violations — closed forms next to Monte-Carlo estimates at a small
-    PAC width. *)
+    PAC width. Routed through the campaign engine; [workers] defaults to
+    1 and the printed numbers are identical for any worker count. *)
 
 val table2_and_figure5 : Format.formatter -> unit
 (** Table 2 (geometric-mean overheads, SPECrate and SPECspeed) and
@@ -19,13 +22,18 @@ val table3 : Format.formatter -> unit
 val reuse_matrix : Format.formatter -> unit
 (** §6.1: the Listing 6 attack strategies against every scheme. *)
 
-val birthday : ?seed:int64 -> Format.formatter -> unit
-(** §6.2.1: harvested-token count until a PAC collision, and the mask
-    distinguisher advantage (Appendix A). *)
+val birthday :
+  ?seed:int64 -> ?workers:int -> ?progress:Pacstack_campaign.Progress.sink ->
+  Format.formatter -> unit
+(** §6.2.1: harvested-token count until a PAC collision (campaign-
+    sharded), and the mask distinguisher advantage (Appendix A). *)
 
-val bruteforce : ?seed:int64 -> Format.formatter -> unit
+val bruteforce :
+  ?seed:int64 -> ?workers:int -> ?progress:Pacstack_campaign.Progress.sink ->
+  Format.formatter -> unit
 (** §4.3: expected guesses under divide-and-conquer, re-seeded and
-    independent strategies, plus the end-to-end forked-sibling attack. *)
+    independent strategies, plus the end-to-end forked-sibling attack —
+    both routed through the campaign engine. *)
 
 val gadget : Format.formatter -> unit
 (** §6.3.1: the signing gadget works at the PA level and is defeated by
@@ -57,4 +65,4 @@ val sp_collisions : Format.formatter -> unit
 val confirm : Format.formatter -> unit
 (** §7.3: the compatibility suite across all schemes. *)
 
-val all : ?seed:int64 -> Format.formatter -> unit
+val all : ?seed:int64 -> ?workers:int -> Format.formatter -> unit

@@ -15,6 +15,18 @@ let next64 t =
   mix t.state
 
 let split t = create (next64 t)
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n"
+  else if n = 0 then [||]
+  else begin
+    let a = Array.make n t in
+    for i = 0 to n - 1 do
+      a.(i) <- split t
+    done;
+    a
+  end
+
 let copy t = { state = t.state }
 
 let bits t n =

@@ -12,6 +12,14 @@ val create : int64 -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators in order, advancing
+    [t] by [n] draws. [split_n t n = Array.init n (fun _ -> split t)]
+    evaluated left to right; raises [Invalid_argument] for [n < 0]. The
+    campaign sharder keys shard [i] of an [n]-shard plan to
+    [(split_n (create campaign_seed) n).(i)], so a shard's stream depends
+    only on the campaign seed and the shard's index. *)
+
 val copy : t -> t
 
 val next64 : t -> int64

@@ -134,3 +134,6 @@ let measure ~scheme ~workers ?(variants = 10) () =
 
 let overhead_pct ~baseline r =
   (baseline.req_per_sec -. r.req_per_sec) /. baseline.req_per_sec *. 100.0
+
+let sweep_cells ?(worker_counts = [ 4; 8 ]) ?(schemes = [ Scheme.Unprotected; Scheme.pacstack_nomask; Scheme.pacstack ]) () =
+  List.concat_map (fun workers -> List.map (fun scheme -> (workers, scheme)) schemes) worker_counts

@@ -31,3 +31,12 @@ val measure :
 
 val overhead_pct : baseline:result -> result -> float
 (** Throughput degradation in percent (positive = slower than baseline). *)
+
+val sweep_cells :
+  ?worker_counts:int list ->
+  ?schemes:Pacstack_harden.Scheme.t list ->
+  unit ->
+  (int * Pacstack_harden.Scheme.t) list
+(** The Table 3 measurement grid in deterministic order, one
+    [(workers, scheme)] cell per campaign shard. Defaults to the paper's
+    4/8 workers against unprotected and both PACStack variants. *)

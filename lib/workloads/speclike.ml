@@ -508,3 +508,16 @@ let measure ~scheme variant bench =
 let overhead_pct ~baseline m =
   Pacstack_util.Stats.overhead_pct ~baseline:(float_of_int baseline.cycles)
     ~measured:(float_of_int m.cycles)
+
+let measure_cell ~variant ~scheme name =
+  match find name with
+  | Some bench -> measure ~scheme variant bench
+  | None -> failwith ("Speclike.measure_cell: unknown benchmark " ^ name)
+
+let sweep_cells ~variants ~schemes =
+  List.concat_map
+    (fun variant ->
+      List.concat_map
+        (fun bench -> List.map (fun scheme -> (variant, bench.name, scheme)) schemes)
+        (all @ cpp))
+    variants

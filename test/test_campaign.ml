@@ -1,0 +1,234 @@
+(* Tests for the campaign engine: the domain pool, the JSON codec, the
+   checkpoint manifest, and the determinism contract — a parallel run of
+   a plan is identical to a sequential run, and an interrupted-and-resumed
+   run is identical to an uninterrupted one. *)
+
+module Rng = Pacstack_util.Rng
+module Json = Pacstack_campaign.Json
+module Plan = Pacstack_campaign.Plan
+module Shard = Pacstack_campaign.Shard
+module Pool = Pacstack_campaign.Pool
+module Progress = Pacstack_campaign.Progress
+module Checkpoint = Pacstack_campaign.Checkpoint
+module Campaign = Pacstack_campaign.Campaign
+module Games = Pacstack_acs.Games
+module Plans = Pacstack_report.Plans
+
+(* --- Pool --------------------------------------------------------------- *)
+
+let test_pool_matches_sequential () =
+  let f i = (i * i) + 3 in
+  let expected = Array.init 23 f in
+  Alcotest.(check (array int)) "1 worker" expected (Pool.run ~workers:1 ~tasks:23 f);
+  Alcotest.(check (array int)) "4 workers" expected (Pool.run ~workers:4 ~tasks:23 f);
+  Alcotest.(check (array int)) "more workers than tasks" expected
+    (Pool.run ~workers:64 ~tasks:23 f);
+  Alcotest.(check (array int)) "no tasks" [||] (Pool.run ~workers:4 ~tasks:0 f)
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "failure crosses domains" (Failure "task 3") (fun () ->
+      ignore
+        (Pool.run ~workers:4 ~tasks:8 (fun i ->
+             if i = 3 then failwith "task 3" else i)))
+
+let test_pool_rejects_bad_args () =
+  Alcotest.check_raises "workers < 1" (Invalid_argument "Pool.run: workers < 1") (fun () ->
+      ignore (Pool.run ~workers:0 ~tasks:1 (fun i -> i)))
+
+(* --- Json --------------------------------------------------------------- *)
+
+let json = Alcotest.testable Json.pp ( = )
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 3.25;
+      Json.String "with \"quotes\", back\\slash, tab\t and newline\n";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [] ];
+      Json.Obj [ ("a", Json.Int 1); ("nested", Json.Obj [ ("b", Json.List [ Json.Null ]) ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok parsed -> Alcotest.check json "roundtrip" v parsed
+      | Error e -> Alcotest.failf "failed to reparse %s: %s" (Json.to_string v) e)
+    samples
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok v -> Alcotest.failf "%S unexpectedly parsed to %s" s (Json.to_string v)
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("n", Json.Int 7); ("f", Json.Float 1.5); ("s", Json.String "x") ] in
+  Alcotest.(check (option int)) "member int" (Some 7) Json.(Option.bind (member "n" v) to_int);
+  Alcotest.(check (option (float 0.0))) "int widens to float" (Some 7.0)
+    Json.(Option.bind (member "n" v) to_float);
+  Alcotest.(check (option int)) "missing member" None Json.(Option.bind (member "zz" v) to_int);
+  Alcotest.(check (option int)) "wrong constructor" None Json.(Option.bind (member "s" v) to_int)
+
+(* --- Plan / Shard -------------------------------------------------------- *)
+
+let test_split_trials () =
+  Alcotest.(check (array int)) "even" [| 25; 25; 25; 25 |] (Plan.split_trials ~trials:100 ~shards:4);
+  Alcotest.(check (array int)) "remainder to early shards" [| 34; 33; 33 |]
+    (Plan.split_trials ~trials:100 ~shards:3);
+  Alcotest.check_raises "too many shards" (Invalid_argument "Plan.split_trials") (fun () ->
+      ignore (Plan.split_trials ~trials:2 ~shards:3))
+
+let test_shard_rng_is_positional () =
+  (* shard i's stream = the i-th split of the campaign root, regardless of
+     which shard value asks *)
+  let shard index = { Shard.index; count = 5; label = "s"; trials = 1 } in
+  let family = Rng.split_n (Rng.create 77L) 5 in
+  for i = 0 to 4 do
+    Alcotest.(check int64) "stream matches family" (Rng.next64 family.(i))
+      (Rng.next64 (Shard.rng ~campaign_seed:77L (shard i)))
+  done
+
+(* --- Campaign determinism (tier-1 acceptance) ---------------------------- *)
+
+let check_estimates = Alcotest.(array (triple int int (float 0.0)))
+
+let table1_fingerprint outcome =
+  Array.map
+    (fun (e : Games.estimate) -> (e.Games.successes, e.Games.trials, e.Games.rate))
+    (Plans.table1_estimates outcome)
+
+let test_table1_workers_identical () =
+  (* the ISSUE acceptance criterion: a 4-worker campaign run of the
+     Table 1 game equals the 1-worker run result-for-result *)
+  let plan () = Plans.table1_plan ~scale:0.01 ~seed:5L () in
+  let sequential = Campaign.run ~workers:1 (plan ()) in
+  let parallel = Campaign.run ~workers:4 (plan ()) in
+  Alcotest.check check_estimates "1 worker = 4 workers" (table1_fingerprint sequential)
+    (table1_fingerprint parallel);
+  (* and per-shard, not only per-cell *)
+  Alcotest.(check (array (pair int int)))
+    "per-shard results identical"
+    (Array.map (fun (c, (e : Games.estimate)) -> (c, e.Games.successes)) sequential.Campaign.results)
+    (Array.map (fun (c, (e : Games.estimate)) -> (c, e.Games.successes)) parallel.Campaign.results)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "pacstack_campaign" ".ck" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_resume_equals_uninterrupted () =
+  let plan () = Plans.table1_plan ~scale:0.01 ~seed:6L () in
+  let uninterrupted = Campaign.run ~workers:1 (plan ()) in
+  with_temp_checkpoint (fun path ->
+      (* simulate a killed run: execute fully, then truncate the manifest
+         to the header plus the first 7 completed-shard records *)
+      let full = Campaign.run ~checkpoint:(path, Plans.table1_codec) (plan ()) in
+      Alcotest.check check_estimates "checkpointed run = plain run"
+        (table1_fingerprint uninterrupted) (table1_fingerprint full);
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      let kept = List.filteri (fun i _ -> i < 8) lines in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+      let resumed = Campaign.run ~workers:4 ~checkpoint:(path, Plans.table1_codec) (plan ()) in
+      Alcotest.(check int) "7 shards restored" 7 resumed.Campaign.resumed;
+      Alcotest.check check_estimates "resumed = uninterrupted"
+        (table1_fingerprint uninterrupted) (table1_fingerprint resumed))
+
+let test_resume_skips_completed_work () =
+  let plan () = Plans.birthday_plan ~scale:0.2 ~seed:8L () in
+  with_temp_checkpoint (fun path ->
+      let first = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
+      Alcotest.(check int) "fresh run resumes nothing" 0 first.Campaign.resumed;
+      let again = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
+      Alcotest.(check int) "second run restores every shard"
+        (Plan.shard_count (plan ()))
+        again.Campaign.resumed;
+      Alcotest.(check (array int)) "results identical" first.Campaign.results again.Campaign.results)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_checkpoint_rejects_foreign_manifest () =
+  with_temp_checkpoint (fun path ->
+      let _ = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (Plans.birthday_plan ~scale:0.05 ~seed:8L ()) in
+      (* same campaign name, different seed: must refuse, not recompute *)
+      match Campaign.run ~checkpoint:(path, Plans.birthday_codec) (Plans.birthday_plan ~scale:0.05 ~seed:9L ()) with
+      | _ -> Alcotest.fail "foreign manifest accepted"
+      | exception Failure msg ->
+        Alcotest.(check bool) "error names the file" true (contains msg path))
+
+let test_checkpoint_ignores_torn_line () =
+  let plan () = Plans.birthday_plan ~scale:0.05 ~seed:8L () in
+  with_temp_checkpoint (fun path ->
+      let full = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
+      (* simulate dying mid-write: append half a record *)
+      Out_channel.with_open_gen [ Open_append ] 0o644 path (fun oc ->
+          Out_channel.output_string oc "{\"shard\":2,\"resu");
+      let resumed = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
+      Alcotest.(check (array int)) "torn line ignored, results identical" full.Campaign.results
+        resumed.Campaign.results)
+
+let test_progress_events_cover_campaign () =
+  let events = ref [] in
+  let sink e = events := e :: !events in
+  let plan = Plans.birthday_plan ~scale:0.05 ~seed:8L () in
+  let _ = Campaign.run ~workers:2 ~progress:sink plan in
+  let count p = List.length (List.filter p !events) in
+  let shards = Plan.shard_count plan in
+  Alcotest.(check int) "one start" 1
+    (count (function Progress.Campaign_started _ -> true | _ -> false));
+  Alcotest.(check int) "one finish" 1
+    (count (function Progress.Campaign_finished _ -> true | _ -> false));
+  Alcotest.(check int) "every shard starts" shards
+    (count (function Progress.Shard_started _ -> true | _ -> false));
+  Alcotest.(check int) "every shard finishes" shards
+    (count (function Progress.Shard_finished _ -> true | _ -> false));
+  (* the last Shard_finished (head of the reversed trace is
+     Campaign_finished, then the final shard) reports full completion *)
+  match !events with
+  | Progress.Campaign_finished _ :: Progress.Shard_finished f :: _ ->
+    Alcotest.(check int) "final completed = total" f.total f.completed
+  | _ -> Alcotest.fail "unexpected event trace shape"
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "rejects bad args" `Quick test_pool_rejects_bad_args;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "split_trials" `Quick test_split_trials;
+          Alcotest.test_case "shard rng is positional" `Quick test_shard_rng_is_positional;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "table1: 1 worker = 4 workers" `Quick test_table1_workers_identical;
+          Alcotest.test_case "table1: resume = uninterrupted" `Quick test_resume_equals_uninterrupted;
+          Alcotest.test_case "resume skips completed shards" `Quick test_resume_skips_completed_work;
+          Alcotest.test_case "foreign manifest rejected" `Quick test_checkpoint_rejects_foreign_manifest;
+          Alcotest.test_case "torn manifest line ignored" `Quick test_checkpoint_ignores_torn_line;
+        ] );
+      ( "progress",
+        [ Alcotest.test_case "event trace" `Quick test_progress_events_cover_campaign ] );
+    ]

@@ -99,6 +99,50 @@ let test_rng_split () =
   Alcotest.(check bool) "split differs from parent stream" true
     (not (Word64.equal (Rng.next64 c) (Rng.next64 a)))
 
+let test_rng_split_n () =
+  (* determinism: equal seeds derive equal stream families *)
+  let a = Rng.split_n (Rng.create 99L) 4 and b = Rng.split_n (Rng.create 99L) 4 in
+  Array.iter2
+    (fun x y -> Alcotest.check check_w64 "same derived stream" (Rng.next64 x) (Rng.next64 y))
+    a b;
+  (* split_n is split iterated: the sharder's indexing contract *)
+  let parent = Rng.create 99L in
+  let family = Rng.split_n (Rng.create 99L) 4 in
+  for i = 0 to 3 do
+    Alcotest.check check_w64
+      (Printf.sprintf "element %d equals iterated split" i)
+      (Rng.next64 (Rng.split parent))
+      (Rng.next64 family.(i))
+  done;
+  Alcotest.(check int) "split_n 0" 0 (Array.length (Rng.split_n (Rng.create 1L) 0));
+  Alcotest.check_raises "split_n negative" (Invalid_argument "Rng.split_n") (fun () ->
+      ignore (Rng.split_n (Rng.create 1L) (-1)))
+
+let test_rng_split_n_disjoint () =
+  (* campaign shards must not share randomness: the 10k-draw prefixes of
+     8 sibling streams are pairwise disjoint *)
+  let streams = Rng.split_n (Rng.create 0xdecafL) 8 in
+  let prefix t =
+    let tbl = Hashtbl.create 20_000 in
+    for _ = 1 to 10_000 do
+      Hashtbl.replace tbl (Rng.next64 t) ()
+    done;
+    tbl
+  in
+  let prefixes = Array.map prefix streams in
+  Array.iteri
+    (fun i pi ->
+      Array.iteri
+        (fun j pj ->
+          if i < j then
+            Hashtbl.iter
+              (fun w () ->
+                if Hashtbl.mem pj w then
+                  Alcotest.failf "streams %d and %d share value %Lx in their 10k prefix" i j w)
+              pi)
+        prefixes)
+    prefixes
+
 let test_rng_copy () =
   let a = Rng.create 7L in
   ignore (Rng.next64 a);
@@ -227,6 +271,8 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "split_n" `Quick test_rng_split_n;
+          Alcotest.test_case "split_n streams are disjoint" `Quick test_rng_split_n_disjoint;
           Alcotest.test_case "copy" `Quick test_rng_copy;
           prop_rng_int_bounds;
           prop_rng_bits_width;
