@@ -95,10 +95,20 @@ let fib_machine =
 let test_machine =
   Test.make ~name:"machine_fib10_pacstack" (Staged.stage fib_machine)
 
+module Fuzz_driver = Pacstack_fuzz.Driver
+module Fuzz_oracle = Pacstack_fuzz.Oracle
+
+let test_fuzz_seed =
+  (* one full differential check: generate, interpret, compile and run
+     under all 6 schemes x {peephole off, on} *)
+  Test.make ~name:"fuzz_seed_all_schemes"
+    (Staged.stage (fun () ->
+         Fuzz_driver.run_seed Fuzz_oracle.default_config ~campaign_seed:11L 3))
+
 let tests =
   Test.make_grouped ~name:"pacstack"
     [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac;
-      test_machine; test_pool_dispatch; test_campaign_birthday ]
+      test_machine; test_pool_dispatch; test_campaign_birthday; test_fuzz_seed ]
 
 (* --- campaign pool: wall-clock scaling ---------------------------------- *)
 
@@ -129,6 +139,27 @@ let campaign_scaling () =
   Format.printf "results identical across worker counts: %b@." identical;
   if not identical then failwith "campaign determinism violated in bench harness"
 
+(* --- differential fuzzing: programs/sec --------------------------------- *)
+
+let fuzz_throughput () =
+  Format.printf "@.=== Differential fuzzing: throughput ===@.";
+  let seeds = 64 in
+  let time workers =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Campaign.run ~workers (Plans.fuzz_plan ~seeds ~seed:11L ()) in
+    (Unix.gettimeofday () -. t0, Plans.fuzz_totals outcome)
+  in
+  let t1, s1 = time 1 in
+  let t4, s4 = time 4 in
+  Format.printf "1 worker:  %6.2fs  %7.1f programs/s@." t1 (float_of_int seeds /. t1);
+  Format.printf "4 workers: %6.2fs  %7.1f programs/s  (speedup %.2fx)@." t4
+    (float_of_int seeds /. t4) (t1 /. t4);
+  Format.printf "divergences: %d, crashes: %d, skipped: %d@."
+    (List.length s1.Fuzz_driver.failures) s1.Fuzz_driver.crashes s1.Fuzz_driver.skipped;
+  let identical = s1 = s4 in
+  Format.printf "results identical across worker counts: %b@." identical;
+  if not identical then failwith "fuzz determinism violated in bench harness"
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
@@ -151,4 +182,5 @@ let () =
   Pacstack_report.Report.all Format.std_formatter;
   run_bechamel ();
   campaign_scaling ();
+  fuzz_throughput ();
   Format.printf "@.done.@."

@@ -10,6 +10,7 @@ module Speclike = Pacstack_workloads.Speclike
 module Confirm = Pacstack_workloads.Confirm
 module Report = Pacstack_report.Report
 module Plans = Pacstack_report.Plans
+module Fuzz_driver = Pacstack_fuzz.Driver
 
 let scheme_conv =
   let parse s =
@@ -215,6 +216,110 @@ let campaign_cmd =
           checkpoint/resume and progress events.")
     Term.(const action $ name_arg $ workers $ seed $ resume $ json_out $ quiet)
 
+(* --- fuzz: differential fuzzing against the reference interpreter -------- *)
+
+let fuzz_cmd =
+  let open Pacstack_campaign in
+  let seeds =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~doc:"Number of random programs to generate.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "w"; "workers" ]
+          ~doc:
+            "Worker domains; the report is identical for any value. 0 means one per \
+             recommended domain.")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Campaign seed; program $(i,i) depends only on (seed, i).")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (some scheme_conv) None
+      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: all six).")
+  in
+  let no_peephole =
+    Arg.(value & flag & info [ "no-peephole" ] ~doc:"Only compile with the peephole optimizer off.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
+  in
+  let action seeds workers seed scheme no_peephole quiet =
+    if seeds < 1 then begin
+      Printf.eprintf "pacstack: --seeds must be >= 1\n";
+      1
+    end
+    else begin
+      let workers = if workers = 0 then Pool.default_workers () else workers in
+      let progress =
+        if quiet then Progress.null else Progress.formatter Format.err_formatter
+      in
+      let schemes = Option.map (fun s -> [ s ]) scheme in
+      let optimize = if no_peephole then Some [ false ] else None in
+      let plan = Plans.fuzz_plan ?schemes ?optimize ~seeds ~seed () in
+      let outcome = Campaign.run ~workers ~progress plan in
+      let totals = Plans.fuzz_totals outcome in
+      let fmt = Format.std_formatter in
+      Format.fprintf fmt "%a@." Fuzz_driver.pp_stats totals;
+      Format.fprintf fmt "throughput: %.1f programs/s@."
+        (float_of_int totals.Fuzz_driver.programs /. max 1e-9 outcome.Campaign.elapsed_s);
+      (match Pacstack_fuzz.Triage.buckets (Fuzz_driver.triage_entries totals) with
+      | [] -> ()
+      | buckets ->
+        Format.fprintf fmt "@[<v>divergence buckets:@,%a@]@." Pacstack_fuzz.Triage.pp_buckets
+          buckets);
+      match totals.Fuzz_driver.failures with
+      | [] ->
+        if totals.Fuzz_driver.crashes > 0 then begin
+          Format.fprintf fmt "harness crashes on %d seeds — fuzzer bug@." totals.Fuzz_driver.crashes;
+          1
+        end
+        else begin
+          Format.fprintf fmt "all programs agree with the reference interpreter@.";
+          0
+        end
+      | (f : Fuzz_driver.failure) :: _ ->
+        (* Reproduce the first divergence from its seed alone, shrink it
+           against the failing (scheme, peephole) variant, and print the
+           minimised program. *)
+        let cfg =
+          {
+            Pacstack_fuzz.Oracle.default_config with
+            schemes =
+              (match Scheme.of_string f.Fuzz_driver.scheme with
+              | Some s -> [ s ]
+              | None -> Scheme.all);
+            optimize = [ f.Fuzz_driver.optimize ];
+          }
+        in
+        let diverges p =
+          match Pacstack_fuzz.Oracle.check cfg p with
+          | Pacstack_fuzz.Oracle.Disagree _ -> true
+          | _ -> false
+        in
+        let p0 = Fuzz_driver.program_of_seed ~campaign_seed:seed f.Fuzz_driver.seed in
+        let small = Pacstack_fuzz.Shrink.shrink ~keep:diverges p0 in
+        Format.fprintf fmt
+          "@[<v>first divergence: seed %d under %s%s at %s@ expected %s, got %s@]@."
+          f.Fuzz_driver.seed f.Fuzz_driver.scheme
+          (if f.Fuzz_driver.optimize then "+peephole" else "")
+          f.Fuzz_driver.site f.Fuzz_driver.expected f.Fuzz_driver.actual;
+        Format.fprintf fmt "shrunk repro (%d statements):@.%s@."
+          (Pacstack_minic.Ast.program_size small)
+          (Pacstack_fuzz.Pp.program_to_string small);
+        1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the mini-C pipeline: random programs compiled under every \
+          scheme, with and without the peephole optimizer, checked against the reference \
+          interpreter. Exits 1 if any divergence is found, with a shrunk reproducer.")
+    Term.(const action $ seeds $ workers $ seed $ scheme $ no_peephole $ quiet)
+
 (* --- disasm: show what the loader put in the executable pages ----------- *)
 
 let disasm_cmd =
@@ -295,6 +400,7 @@ let cmds =
   [
     run_cmd;
     cc_cmd;
+    fuzz_cmd;
     bench_cmd;
     confirm_cmd;
     disasm_cmd;

@@ -1,0 +1,446 @@
+(* Seeded random mini-C program generator.
+
+   Built on the [Minic.Build] combinators, driven by a SplitMix64 [Rng]:
+   the same seed always yields the same program, on any host and at any
+   worker count.  The grammar is weighted, and every generated program
+   is *closed over the differential oracle's blind spots* — it must
+   behave identically on the reference interpreter and on the compiled
+   image under every scheme, so the generator enforces:
+
+   - termination: loops are counting loops over fresh counters that no
+     statement may reassign, with constant bounds; recursion decrements
+     a first argument that callers pass as a small constant, with a
+     `<= 0` base case; raw longjmp sites are one-shot (guarded by a
+     global flag);
+   - no observable addresses: pointer-valued Addr_ expressions only
+     flow into load/store/call-target positions, never into printed or
+     stored data — stack layout differs between interpreter and image;
+   - initialise-before-use: stack memory is recycled garbage on both
+     sides, but *different* garbage, so every scalar and every array
+     slot is written before the function body can read it (globals are
+     zero pages on both sides and need no initialisation);
+   - in-bounds indexing: array/global subscripts are either constant and
+     in range or masked with [slots-1] over power-of-two slot counts;
+   - bounded expression depth: the compiler has six expression
+     temporaries, so every expression position carries a "room" budget;
+   - per-program exception discipline: a program uses raw
+     setjmp/longjmp or try/throw, never both (mixing them can strand
+     the lowered handler chain — real UB, not a miscompile);
+   - at most one [Try] per function, with no Return/Tail_call inside
+     the protected body (the lowered handler-pop would be skipped — UB
+     by design, as in C);
+   - main never tail-calls in setjmp programs (a longjmp back into a
+     main that tail-called away would resurrect a frame the callee
+     overwrote).
+
+   [~vuln:true] additionally sprinkles [Hook] attack intrinsics; hooks
+   are architecturally silent unless a harness registers them, and the
+   differential driver never does — they exist so the attacker harness
+   can reuse fuzzed corpora. *)
+
+module Ast = Pacstack_minic.Ast
+module B = Pacstack_minic.Build
+module Rng = Pacstack_util.Rng
+
+type callee = {
+  cname : string;
+  arity : int;
+  bounded : bool; (* recursive: first argument must be a small constant *)
+}
+
+type mode = Plain | Setjmp_mode | Throw_mode
+
+type scope = {
+  rng : Rng.t;
+  reads : string list; (* scalars known to be initialised here *)
+  writes : string list; (* scalars statements may assign *)
+  arrays : (string * int) list; (* local arrays: name, 8-byte slots (pow2) *)
+  globals : (string * int) list; (* data globals: name, slots (pow2) *)
+  callees : callee list;
+  allow_callptr : bool;
+  mode : mode;
+  allow_return : bool;
+  allow_tail : bool;
+  depth : int;
+  vuln : bool;
+  fresh : int ref; (* program-wide counter for generated names *)
+  budget : int ref; (* statements remaining for this function *)
+  new_locals : Ast.local list ref; (* loop counters needing declaration *)
+}
+
+(* List.init with a guaranteed left-to-right effect order, so the rng
+   stream (and thus the generated program) never depends on stdlib
+   evaluation-order choices. *)
+let tabulate n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+let interesting_consts =
+  [| 0L; 1L; 2L; -1L; 3L; 7L; 13L; 64L; 255L; 256L; 1024L; 0x7fffffffL; -1000L |]
+
+let const rng =
+  if Rng.bool rng then Ast.Int (Rng.choose rng interesting_consts)
+  else Ast.Int (Int64.of_int (Rng.int rng 25 - 8))
+
+let pick_list rng l = List.nth l (Rng.int rng (List.length l))
+
+(* --- data expressions ---------------------------------------------------
+
+   [room] is how many extra compiler temporaries the expression may
+   consume beyond its starting depth.  Leaf costs: constants and
+   variables 0; loads with a constant offset 1; masked variable
+   indexing 2 (the mask and the shift each burn a temp). *)
+
+let ops = [| Ast.Add; Sub; Mul; Div; And; Or; Xor; Shl; Shr |]
+
+(* address of a random in-bounds 8-byte slot of a named region, with its
+   temp cost *)
+let slot_addr rng base slots reads =
+  if slots > 1 && reads <> [] && Rng.int rng 3 = 0 then
+    ( Ast.Binop
+        ( Add,
+          base,
+          Binop
+            ( Shl,
+              Binop (And, Var (pick_list rng reads), Int (Int64.of_int (slots - 1))),
+              Int 3L ) ),
+      2 )
+  else (Ast.Binop (Add, base, Int (Int64.of_int (8 * Rng.int rng slots))), 1)
+
+let rec data_expr sc room =
+  let rng = sc.rng in
+  if room <= 0 || Rng.int rng 5 < 2 then data_leaf sc room
+  else
+    let a = data_expr sc room in
+    let b = data_expr sc (room - 1) in
+    Ast.Binop (Rng.choose rng ops, a, b)
+
+and data_leaf sc room =
+  let rng = sc.rng in
+  let choices = ref [ `Const; `Const ] in
+  if sc.reads <> [] then choices := `Var :: `Var :: !choices;
+  if room >= 1 && sc.globals <> [] then choices := `Glob :: !choices;
+  if room >= 1 && sc.arrays <> [] then choices := `Arr :: `Byte :: !choices;
+  match pick_list rng !choices with
+  | `Const -> const rng
+  | `Var -> Ast.Var (pick_list rng sc.reads)
+  | `Glob ->
+      let g, slots = pick_list rng sc.globals in
+      let addr, cost = slot_addr rng (Ast.Addr_global g) slots sc.reads in
+      if cost > room then Ast.Load (Ast.Addr_global g) else Ast.Load addr
+  | `Arr ->
+      let a, slots = pick_list rng sc.arrays in
+      let addr, cost = slot_addr rng (Ast.Addr_local a) slots sc.reads in
+      if cost > room then Ast.Load (Ast.Addr_local a) else Ast.Load addr
+  | `Byte ->
+      let a, slots = pick_list rng sc.arrays in
+      Ast.Load_byte
+        (Binop (Add, Addr_local a, Int (Int64.of_int (Rng.int rng (8 * slots)))))
+
+let data_cond sc =
+  let a = data_expr sc 2 in
+  let b = data_expr sc 2 in
+  Ast.Rel (Rng.choose sc.rng [| Ast.Eq; Ne; Lt; Le; Gt; Ge |], a, b)
+
+(* A random writable 8-byte location: an array slot, a global slot, or a
+   scalar aliased through its address (exercises Addr_local aliasing). *)
+let store_target sc =
+  let rng = sc.rng in
+  let choices = ref [] in
+  if sc.arrays <> [] then choices := `Arr :: `Arr :: !choices;
+  if sc.globals <> [] then choices := `Glob :: !choices;
+  if sc.writes <> [] then choices := `Alias :: !choices;
+  match !choices with
+  | [] -> None
+  | cs ->
+      Some
+        (match pick_list rng cs with
+        | `Arr ->
+            let a, slots = pick_list rng sc.arrays in
+            fst (slot_addr rng (Ast.Addr_local a) slots sc.reads)
+        | `Glob ->
+            let g, slots = pick_list rng sc.globals in
+            fst (slot_addr rng (Ast.Addr_global g) slots sc.reads)
+        | `Alias -> Ast.Addr_local (pick_list rng sc.writes))
+
+(* --- calls --------------------------------------------------------------- *)
+
+let call_args sc (c : callee) =
+  tabulate c.arity (fun i ->
+      if i = 0 && c.bounded then Ast.Int (Int64.of_int (Rng.int sc.rng 7))
+      else data_expr sc 2)
+
+let callptr_expr sc =
+  (* load a slot of the global function-pointer table; both slots hold
+     arity-1 function addresses before any call can run *)
+  let rng = sc.rng in
+  let idx =
+    if sc.reads <> [] && Rng.bool rng then
+      Ast.Binop (Shl, Binop (And, Var (pick_list rng sc.reads), Int 1L), Int 3L)
+    else Ast.Int (Int64.of_int (8 * Rng.int rng 2))
+  in
+  let arg = data_expr sc 2 in
+  Ast.Call_ptr (Load (Binop (Add, Addr_global "ftab", idx)), [ arg ])
+
+(* --- statements ---------------------------------------------------------- *)
+
+let fresh_name sc prefix =
+  let n = !(sc.fresh) in
+  sc.fresh := n + 1;
+  prefix ^ string_of_int n
+
+let rec gen_stmt sc : Ast.stmt list =
+  let rng = sc.rng in
+  decr sc.budget;
+  let weighted = ref [] in
+  let add w kind = if w > 0 then weighted := (w, kind) :: !weighted in
+  add 4 `Let;
+  add (if sc.arrays <> [] || sc.globals <> [] || sc.writes <> [] then 3 else 0) `Store;
+  add (if sc.arrays <> [] then 1 else 0) `Store_byte;
+  add 3 `Print;
+  add (if sc.depth < 3 && !(sc.budget) > 2 then 2 else 0) `If;
+  add (if sc.depth < 2 && !(sc.budget) > 3 then 2 else 0) `For;
+  add (if sc.callees <> [] then 3 else 0) `Call;
+  add (if sc.allow_callptr then 1 else 0) `Callptr;
+  add (if sc.mode = Throw_mode then 1 else 0) `Throw;
+  add (if sc.mode = Setjmp_mode then 1 else 0) `Longjmp;
+  add (if sc.allow_return && sc.depth > 0 then 1 else 0) `Return;
+  add (if sc.vuln then 1 else 0) `Hook;
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 !weighted in
+  let rec select n = function
+    | [] -> `Let
+    | (w, k) :: rest -> if n < w then k else select (n - w) rest
+  in
+  match select (Rng.int rng total) !weighted with
+  | `Let when sc.writes = [] -> [ B.print (data_expr sc 3) ]
+  | `Let ->
+      let x = pick_list rng sc.writes in
+      [ B.set x (data_expr sc 3) ]
+  | `Store -> (
+      match store_target sc with
+      | Some addr -> [ B.store addr (data_expr sc 3) ]
+      | None -> [ B.print (data_expr sc 3) ])
+  | `Store_byte ->
+      let a, slots = pick_list rng sc.arrays in
+      let addr =
+        Ast.Binop (Add, Addr_local a, Int (Int64.of_int (Rng.int rng (8 * slots))))
+      in
+      [ B.store8 addr (data_expr sc 3) ]
+  | `Print -> [ B.print (data_expr sc 3) ]
+  | `If ->
+      let c = data_cond sc in
+      let t = gen_body { sc with depth = sc.depth + 1 } (1 + Rng.int rng 3) in
+      let f =
+        if Rng.bool rng then []
+        else gen_body { sc with depth = sc.depth + 1 } (1 + Rng.int rng 2)
+      in
+      [ B.if_ c t f ]
+  | `For ->
+      let k = fresh_name sc "k" in
+      sc.new_locals := Ast.Scalar k :: !(sc.new_locals);
+      let bound = 1 + Rng.int rng 4 in
+      (* the counter is readable but never assignable inside the body,
+         which is what guarantees termination; Return out of a loop is
+         legal but generated sparingly via the enclosing scope *)
+      let body_sc = { sc with reads = k :: sc.reads; depth = sc.depth + 1 } in
+      let body = gen_body body_sc (1 + Rng.int rng 3) in
+      [ B.for_ k ~from:(B.i 0) ~below:(B.i bound) body ]
+  | `Call ->
+      let c = pick_list rng sc.callees in
+      let args = call_args sc c in
+      if sc.writes <> [] && Rng.int rng 4 > 0 then
+        [ B.set (pick_list rng sc.writes) (Ast.Call (c.cname, args)) ]
+      else [ B.expr (Ast.Call (c.cname, args)) ]
+  | `Callptr ->
+      let e = callptr_expr sc in
+      if sc.writes <> [] then [ B.set (pick_list rng sc.writes) e ]
+      else [ B.expr e ]
+  | `Throw ->
+      (* conditional, so a throw site does not always abort what follows *)
+      let c = data_cond sc in
+      [ B.if_ c [ B.throw (data_expr sc 2) ] [] ]
+  | `Longjmp ->
+      (* one-shot: a global flag guards the jump, so the re-executed
+         continuation of setjmp cannot jump again *)
+      let v = data_expr sc 1 in
+      [
+        B.if_
+          (Ast.Rel (Eq, Load (Addr_global "jonce"), Int 0L))
+          [ B.store (B.glob "jonce") (B.i 1); Ast.Longjmp (Addr_global "jb", v) ]
+          [];
+      ]
+  | `Return -> [ B.ret (data_expr sc 3) ]
+  | `Hook -> [ B.hook (fresh_name sc "vuln") ]
+
+and gen_body sc n =
+  if !(sc.budget) <= 0 then [ B.print (data_expr sc 2) ]
+  else List.concat (tabulate n (fun _ -> gen_stmt sc))
+
+(* --- try/throw decoration ------------------------------------------------ *)
+
+(* Insert at most one Try per function, at the top level of its body.
+   The protected body must not Return or Tail_call (the lowered
+   handler-pop would be skipped); the handler may — by the time it
+   runs, this function's handler is already unlinked, and it is the
+   only Try in the function. *)
+let maybe_wrap_try sc body =
+  if sc.mode = Throw_mode && Rng.int sc.rng 2 = 0 && !(sc.budget) > 2 then begin
+    let x = fresh_name sc "exn" in
+    let try_sc = { sc with allow_return = false; allow_tail = false } in
+    let protected = gen_body try_sc (1 + Rng.int sc.rng 2) in
+    let handler_sc = { sc with reads = x :: sc.reads } in
+    let handler = B.print (Ast.Var x) :: gen_body handler_sc (Rng.int sc.rng 2) in
+    let pos = Rng.int sc.rng (1 + List.length body) in
+    List.filteri (fun i _ -> i < pos) body
+    @ [ B.try_ protected x handler ]
+    @ List.filteri (fun i _ -> i >= pos) body
+  end
+  else body
+
+(* --- functions ----------------------------------------------------------- *)
+
+(* Initialise every declared scalar and every array slot before the
+   random body may read them.  Scalar initialisers may read only the
+   parameters and the zero-filled globals — never the arrays, which are
+   not initialised yet at that point. *)
+let init_stmts sc params scalars arrays =
+  let param_scope = { sc with reads = params; arrays = [] } in
+  List.map (fun s -> B.set s (data_expr param_scope 2)) scalars
+  @ List.concat_map
+      (fun (a, slots) ->
+        tabulate slots (fun k ->
+            B.store
+              (Ast.Binop (Add, Addr_local a, Int (Int64.of_int (8 * k))))
+              (const sc.rng)))
+      arrays
+
+type finfo = { fd : Ast.fdef; info : callee }
+
+let gen_function ~rng ~vuln ~mode ~globals ~callees ~allow_callptr ~fresh ~name
+    ~arity ~recursive =
+  let params = tabulate arity (fun i -> "p" ^ string_of_int i) in
+  let nscalars = 1 + Rng.int rng 3 in
+  let scalars = tabulate nscalars (fun i -> "s" ^ string_of_int i) in
+  let arrays =
+    tabulate (Rng.int rng 3) (fun i ->
+        ("a" ^ string_of_int i, Rng.choose rng [| 1; 2; 4 |]))
+  in
+  let sc =
+    {
+      rng;
+      reads = params @ scalars;
+      writes = scalars;
+      arrays;
+      globals;
+      callees;
+      allow_callptr;
+      mode;
+      allow_return = true;
+      allow_tail = callees <> [] && (mode <> Setjmp_mode || name <> "main");
+      depth = 0;
+      vuln;
+      fresh;
+      budget = ref (10 + Rng.int rng 10);
+      new_locals = ref [];
+    }
+  in
+  let init = init_stmts sc params scalars arrays in
+  let body = gen_body sc (2 + Rng.int rng 4) in
+  let body = maybe_wrap_try sc body in
+  (* recursion: decrement-and-recurse on the first parameter, with a
+     <= 0 base case guarding everything (it may read only parameters) *)
+  let guard =
+    if recursive then [ B.if_ B.(v (List.hd params) <= i 0) [ B.ret (B.i 1) ] [] ]
+    else []
+  in
+  let rec_part =
+    if recursive then begin
+      let rest_args = tabulate (arity - 1) (fun _ -> data_expr sc 2) in
+      [
+        B.set (List.hd scalars)
+          (Ast.Call (name, Ast.Binop (Sub, Var (List.hd params), Int 1L) :: rest_args));
+        B.print (Ast.Var (List.hd scalars));
+      ]
+    end
+    else []
+  in
+  let terminal =
+    if sc.allow_tail && (not recursive) && Rng.int rng 5 = 0 then begin
+      let c = pick_list rng callees in
+      [ Ast.Tail_call (c.cname, call_args sc c) ]
+    end
+    else [ B.ret (data_expr sc 3) ]
+  in
+  let body = guard @ init @ body @ rec_part @ terminal in
+  let locals =
+    List.map (fun s -> Ast.Scalar s) scalars
+    @ List.map (fun (a, slots) -> Ast.Array (a, 8 * slots)) arrays
+    @ !(sc.new_locals)
+  in
+  { fd = Ast.fdef name ~params ~locals body; info = { cname = name; arity; bounded = recursive } }
+
+(* --- whole programs ------------------------------------------------------ *)
+
+let generate ?(vuln = false) rng : Ast.program =
+  let fresh = ref 0 in
+  let mode =
+    match Rng.int rng 3 with 0 -> Plain | 1 -> Setjmp_mode | _ -> Throw_mode
+  in
+  let nglobals = 1 + Rng.int rng 3 in
+  let data_globals =
+    tabulate nglobals (fun i -> ("g" ^ string_of_int i, Rng.choose rng [| 1; 2; 4 |]))
+  in
+  let globals =
+    List.map (fun (g, slots) -> (g, 8 * slots)) data_globals
+    @ [ ("ftab", 16) ]
+    @ (if mode = Setjmp_mode then [ ("jb", 136); ("jonce", 8) ] else [])
+  in
+  let nf = 2 + Rng.int rng 3 in
+  let rec build i acc =
+    if i >= nf then List.rev acc
+    else begin
+      let name = "f" ^ string_of_int i in
+      let arity = if i < 2 then 1 else 1 + Rng.int rng 3 in
+      let recursive = i >= 2 && Rng.int rng 3 = 0 in
+      let callees = List.rev_map (fun f -> f.info) acc in
+      (* f0/f1 sit in the indirect-call table; letting them call through
+         the table would allow unbounded mutual recursion *)
+      let f =
+        gen_function ~rng ~vuln ~mode ~globals:data_globals ~callees
+          ~allow_callptr:(i >= 2) ~fresh ~name ~arity ~recursive
+      in
+      build (i + 1) (f :: acc)
+    end
+  in
+  let funcs = build 0 [] in
+  let callees = List.map (fun f -> f.info) funcs in
+  let main =
+    gen_function ~rng ~vuln ~mode ~globals:data_globals ~callees
+      ~allow_callptr:true ~fresh ~name:"main" ~arity:0 ~recursive:false
+  in
+  (* main prologue: fill the indirect-call table, then (setjmp mode) arm
+     the jump buffer and print the value setjmp delivered *)
+  let table_init =
+    [
+      B.store (B.glob "ftab") (B.fn "f0");
+      B.store B.(glob "ftab" + i 8) (B.fn "f1");
+    ]
+  in
+  let setjmp_arm =
+    if mode = Setjmp_mode then
+      [
+        Ast.Setjmp ("sj", Ast.Addr_global "jb");
+        B.if_ B.(v "sj" != i 0) [ B.print (B.v "sj") ] [];
+      ]
+    else []
+  in
+  let main_fd =
+    {
+      main.fd with
+      body = table_init @ setjmp_arm @ main.fd.body;
+      locals =
+        (if mode = Setjmp_mode then Ast.Scalar "sj" :: main.fd.locals
+         else main.fd.locals);
+    }
+  in
+  Ast.program ~globals (List.map (fun f -> f.fd) funcs @ [ main_fd ])

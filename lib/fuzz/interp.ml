@@ -1,0 +1,400 @@
+(* A reference interpreter for the mini-C AST.
+
+   This is the oracle half of the differential fuzzer: it evaluates an
+   [Ast.program] directly — no compilation, no hardening scheme, no
+   register file — and produces the same [Trace.t] observables as a run
+   of the compiled image on the machine model.  Where the language has
+   a semantics choice, the interpreter mirrors `lib/machine` exactly:
+
+   - all arithmetic is two's-complement int64 (wrapping add/sub/mul);
+   - division is *unsigned* and total (x/0 = 0), like the Udiv the
+     compiler emits;
+   - shifts take the low six bits of the shift amount;
+   - relational operators are signed, like the conditions the compiler
+     selects;
+   - memory is byte-addressable and little-endian: the interpreter
+     reuses the machine's own [Memory] module for its store, so mixed
+     byte/word access to arrays and globals agrees with the image by
+     construction;
+   - globals start zeroed (fresh pages); stack frames are *not* zeroed
+     on entry — like the machine's recycled stack memory, uninitialised
+     locals hold stale garbage, which is why the generator initialises
+     everything before use;
+   - indirect calls are checked against the set of function entry
+     addresses, mirroring the machine's forward-CFI check on Blr;
+   - setjmp returns twice: a longjmp with value 0 delivers 1, and a
+     [Throw] caught by [Try] likewise delivers max(value, 1), because
+     the machine lowers try/throw onto the same longjmp runtime.
+
+   Variables live in memory slots (not an environment of values) so
+   that [Addr_local] aliasing — writing through a pointer to a scalar —
+   behaves exactly as on the machine.  The interpreter's address space
+   is private and arbitrary; addresses are never observable. *)
+
+module Ast = Pacstack_minic.Ast
+module Memory = Pacstack_machine.Memory
+module Trap = Pacstack_machine.Trap
+
+(* Private layout: one region for globals, one descending stack, and a
+   fake "code" region whose slots stand in for function entry points.
+   The constants are unrelated to Image's layout on purpose — nothing
+   may leak layout into observables. *)
+let code_base = 0x4000L
+let globals_base = 0x100000L
+let stack_top = 0x7fff0000L
+let stack_limit = 0x7ff00000L (* ~1 MiB of interpreter stack *)
+
+type state = {
+  mem : Memory.t;
+  globals : (string, int64) Hashtbl.t; (* global name -> base address *)
+  funcs : (string, Ast.fdef) Hashtbl.t;
+  func_addr : (string, int64) Hashtbl.t;
+  addr_func : (int64, Ast.fdef) Hashtbl.t;
+  jmpbufs : (int64, int) Hashtbl.t; (* armed buffer address -> token *)
+  mutable sp : int64;
+  mutable next_token : int;
+  mutable steps : int;
+  max_steps : int;
+  mutable out : int64 list; (* reversed output *)
+}
+
+(* Internal control-flow signals. *)
+exception Halted of int
+exception Return_sig of int64
+exception Throw_sig of int64
+exception Longjmp_sig of int * int64 (* token, value *)
+exception Undefined of string (* interpreter-detected UB -> Trace.Trap *)
+exception Out_of_steps
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then raise Out_of_steps
+
+(* A frame environment maps every variable name (params, scalars,
+   arrays, try catch-variables) to the address of its slot. *)
+type env = (string, int64) Hashtbl.t
+
+let slot env x =
+  match Hashtbl.find_opt env x with
+  | Some a -> a
+  | None -> raise (Undefined ("unknown variable " ^ x))
+
+let global_addr st g =
+  match Hashtbl.find_opt st.globals g with
+  | Some a -> a
+  | None -> raise (Undefined ("unknown global " ^ g))
+
+let func_address st f =
+  match Hashtbl.find_opt st.func_addr f with
+  | Some a -> a
+  | None -> raise (Undefined ("unknown function " ^ f))
+
+(* Exactly the machine's binop semantics (Machine.exec). *)
+let binop (op : Ast.binop) a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div -> if Int64.equal b 0L then 0L else Int64.unsigned_div a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+
+let relop (op : Ast.relop) a b =
+  let c = Int64.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(* Frame layout: every param, scalar local, declared array and Try
+   catch-variable gets a slot below the caller's sp.  Catch variables
+   are found by scanning the body: the compiler's desugaring declares
+   them implicitly, so the surface AST does not list them in locals. *)
+let rec catch_vars_stmt acc (s : Ast.stmt) =
+  match s with
+  | Try (body, x, handler) ->
+      let acc = if List.mem x acc then acc else x :: acc in
+      catch_vars_body (catch_vars_body acc body) handler
+  | If (_, t, f) -> catch_vars_body (catch_vars_body acc t) f
+  | While (_, b) | Block b -> catch_vars_body acc b
+  | Let _ | Store _ | Store_byte _ | Expr _ | Return _ | Tail_call _ | Setjmp _
+  | Longjmp _ | Hook _ | Print _ | Halt _ | Throw _ ->
+      acc
+
+and catch_vars_body acc body = List.fold_left catch_vars_stmt acc body
+
+let align8 n = (n + 7) land lnot 7
+
+let push_frame st (fd : Ast.fdef) args =
+  if List.length args <> List.length fd.params then
+    raise (Undefined ("arity mismatch calling " ^ fd.fname));
+  let env : env = Hashtbl.create 16 in
+  let bytes = ref 0 in
+  let alloc name size =
+    let addr = Int64.sub st.sp (Int64.of_int (!bytes + size)) in
+    bytes := align8 (!bytes + size);
+    Hashtbl.replace env name addr
+  in
+  List.iter (fun p -> alloc p 8) fd.params;
+  List.iter
+    (fun (l : Ast.local) ->
+      match l with
+      | Scalar x -> alloc x 8
+      | Array (x, size) -> alloc x (align8 (max size 1)))
+    fd.locals;
+  List.iter (fun x -> alloc x 8) (catch_vars_body [] fd.body);
+  st.sp <- Int64.sub st.sp (Int64.of_int (align8 !bytes));
+  if Int64.unsigned_compare st.sp stack_limit < 0 then
+    raise (Undefined "interpreter stack overflow");
+  List.iter2 (fun p v -> Memory.store64 st.mem (slot env p) v) fd.params args;
+  env
+
+let rec eval st env (e : Ast.expr) =
+  tick st;
+  match e with
+  | Int v -> v
+  | Var x -> Memory.load64 st.mem (slot env x)
+  | Addr_local x -> slot env x
+  | Addr_global g -> global_addr st g
+  | Addr_func f -> func_address st f
+  | Load a -> Memory.load64 st.mem (eval st env a)
+  | Load_byte a -> Int64.of_int (Memory.load8 st.mem (eval st env a))
+  | Binop (op, a, b) ->
+      let va = eval st env a in
+      let vb = eval st env b in
+      binop op va vb
+  | Call (f, args) ->
+      let vs = eval_args st env args in
+      let fd =
+        match Hashtbl.find_opt st.funcs f with
+        | Some fd -> fd
+        | None -> raise (Undefined ("call to unknown function " ^ f))
+      in
+      call st fd vs
+  | Call_ptr (fe, args) ->
+      (* Target first, then arguments — the compiler's order. *)
+      let target = eval st env fe in
+      let vs = eval_args st env args in
+      let fd =
+        match Hashtbl.find_opt st.addr_func target with
+        | Some fd -> fd
+        (* Mirrors the machine's forward-CFI trap on Blr to a
+           non-entry address. *)
+        | None -> raise (Undefined "indirect call to non-function address")
+      in
+      call st fd vs
+
+and eval_args st env args =
+  (* Explicit left-to-right, like compiled argument evaluation. *)
+  List.fold_left (fun acc a -> eval st env a :: acc) [] args |> List.rev
+
+and call st fd vs =
+  let saved_sp = st.sp in
+  let env = push_frame st fd vs in
+  let result =
+    try
+      exec_body st env fd.body;
+      (* Falling off the end: the machine returns with whatever is in
+         x0.  The generator always ends bodies with Return, so pin an
+         arbitrary-but-fixed value. *)
+      0L
+    with Return_sig v -> v
+  in
+  st.sp <- saved_sp;
+  result
+
+and cond st env (c : Ast.cond) =
+  match c with
+  | Rel (op, a, b) ->
+      let va = eval st env a in
+      let vb = eval st env b in
+      relop op va vb
+
+and exec_body st env body =
+  match body with
+  | [] -> ()
+  | Ast.Setjmp (x, bufe) :: rest ->
+      (* Replay semantics: arm the buffer, then execute the rest of
+         this statement list; a longjmp to this buffer restores sp and
+         re-executes the rest with the delivered value in x. *)
+      tick st;
+      let buf = eval st env bufe in
+      let token = st.next_token in
+      st.next_token <- token + 1;
+      Hashtbl.replace st.jmpbufs buf token;
+      let saved_sp = st.sp in
+      Memory.store64 st.mem (slot env x) 0L;
+      let rec attempt () =
+        try exec_body st env rest
+        with Longjmp_sig (t, v) when t = token ->
+          st.sp <- saved_sp;
+          Memory.store64 st.mem (slot env x)
+            (if Int64.equal v 0L then 1L else v);
+          attempt ()
+      in
+      attempt ()
+  | s :: rest ->
+      exec_stmt st env s;
+      exec_body st env rest
+
+and exec_stmt st env (s : Ast.stmt) =
+  tick st;
+  match s with
+  | Let (x, e) ->
+      let v = eval st env e in
+      Memory.store64 st.mem (slot env x) v
+  | Store (a, e) ->
+      (* Address first, then value — the compiler's order. *)
+      let addr = eval st env a in
+      let v = eval st env e in
+      Memory.store64 st.mem addr v
+  | Store_byte (a, e) ->
+      let addr = eval st env a in
+      let v = eval st env e in
+      Memory.store8 st.mem addr (Int64.to_int v land 0xff)
+  | Expr e -> ignore (eval st env e)
+  | If (c, t, f) -> if cond st env c then exec_body st env t else exec_body st env f
+  | While (c, b) ->
+      while cond st env c do
+        exec_body st env b
+      done
+  | Return None -> raise (Return_sig 0L)
+  | Return (Some e) -> raise (Return_sig (eval st env e))
+  | Tail_call (f, args) ->
+      (* The callee's return value becomes this function's return
+         value; observationally a call followed by return. *)
+      let vs = eval_args st env args in
+      let fd =
+        match Hashtbl.find_opt st.funcs f with
+        | Some fd -> fd
+        | None -> raise (Undefined ("tail call to unknown function " ^ f))
+      in
+      raise (Return_sig (call st fd vs))
+  | Setjmp _ ->
+      (* Handled in exec_body; a Setjmp that is the last statement of a
+         block arms a buffer nothing can observe. *)
+      exec_body st env [ s ]
+  | Longjmp (bufe, ve) ->
+      let buf = eval st env bufe in
+      let v = eval st env ve in
+      let token =
+        match Hashtbl.find_opt st.jmpbufs buf with
+        | Some t -> t
+        | None -> raise (Undefined "longjmp to unarmed buffer")
+      in
+      raise (Longjmp_sig (token, v))
+  | Hook _ -> () (* attack intrinsics have no architectural observables *)
+  | Print e -> st.out <- eval st env e :: st.out
+  | Block b -> exec_body st env b
+  | Halt e -> raise (Halted (Int64.to_int (eval st env e)))
+  | Try (body, x, handler) ->
+      let saved_sp = st.sp in
+      let delivered =
+        try
+          exec_body st env body;
+          None
+        with Throw_sig v -> Some v
+      in
+      (match delivered with
+      | None -> ()
+      | Some v ->
+          st.sp <- saved_sp;
+          (* The machine lowers throw onto longjmp, so a thrown 0
+             arrives as 1. *)
+          Memory.store64 st.mem (slot env x)
+            (if Int64.equal v 0L then 1L else v);
+          exec_body st env handler)
+  | Throw e -> raise (Throw_sig (eval st env e))
+
+(* --- program setup ------------------------------------------------------ *)
+
+let setup ~max_steps (p : Ast.program) =
+  let mem = Memory.create () in
+  let st =
+    {
+      mem;
+      globals = Hashtbl.create 8;
+      funcs = Hashtbl.create 8;
+      func_addr = Hashtbl.create 8;
+      addr_func = Hashtbl.create 8;
+      jmpbufs = Hashtbl.create 4;
+      sp = stack_top;
+      next_token = 1;
+      steps = 0;
+      max_steps;
+      out = [];
+    }
+  in
+  (* Globals: zero-initialised contiguous slots, 16-byte aligned so
+     masked power-of-two indexing stays in bounds. *)
+  let gbytes =
+    List.fold_left (fun acc (_, size) -> acc + align8 (max size 8)) 0 p.globals
+  in
+  Memory.map mem ~addr:globals_base
+    ~size:(max Memory.page_size (align8 gbytes + 16))
+    Memory.perm_rw;
+  let next = ref globals_base in
+  List.iter
+    (fun (name, size) ->
+      Hashtbl.replace st.globals name !next;
+      next := Int64.add !next (Int64.of_int (align8 (max size 8))))
+    p.globals;
+  (* Stack pages. *)
+  Memory.map mem ~addr:stack_limit
+    ~size:(Int64.to_int (Int64.sub stack_top stack_limit))
+    Memory.perm_rw;
+  (* Function table: each function gets a distinct fake entry address.
+     The slots live in unmapped space — loading from them would trap,
+     as loading from a code address traps on the machine's W^X map for
+     data access... they are just names, never dereferenced. *)
+  List.iteri
+    (fun idx (fd : Ast.fdef) ->
+      if Hashtbl.mem st.funcs fd.fname then
+        raise (Undefined ("duplicate function " ^ fd.fname));
+      let addr = Int64.add code_base (Int64.of_int (idx * 16)) in
+      Hashtbl.replace st.funcs fd.fname fd;
+      Hashtbl.replace st.func_addr fd.fname addr;
+      Hashtbl.replace st.addr_func addr fd)
+    p.fundefs;
+  st
+
+(* --- entry point -------------------------------------------------------- *)
+
+let default_max_steps = 2_000_000
+
+(* Run [p] and produce its observable trace.  Never raises: undefined
+   behaviour and memory faults map to [Trace.Trap], step exhaustion to
+   [Trace.Fuel]. *)
+let run ?(max_steps = default_max_steps) (p : Ast.program) : Trace.t =
+  match
+    let st = setup ~max_steps p in
+    let outcome =
+      try
+        let main =
+          match Hashtbl.find_opt st.funcs p.main with
+          | Some fd -> fd
+          | None -> raise (Undefined ("missing entry function " ^ p.main))
+        in
+        if main.params <> [] then raise (Undefined "entry function takes arguments");
+        let v = call st main [] in
+        Trace.Exit (Int64.to_int v)
+      with
+      | Halted code -> Trace.Exit code
+      | Throw_sig _ ->
+          (* Uncaught throw: the runtime's __throw finds no handler and
+             halts with the fixed uncaught-exception exit code. *)
+          Trace.Exit Pacstack_minic.Exceptions.uncaught_exit_code
+      | Longjmp_sig _ | Undefined _ | Trap.Fault _ -> Trace.Trap
+      | Out_of_steps -> Trace.Fuel
+    in
+    { Trace.outcome; output = List.rev st.out }
+  with
+  | t -> t
+  | exception Trap.Fault _ -> { Trace.outcome = Trap; output = [] }
+  | exception Undefined _ -> { Trace.outcome = Trap; output = [] }

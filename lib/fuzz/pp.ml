@@ -1,0 +1,91 @@
+(* Pretty-printer for generated mini-C programs, used when reporting a
+   (shrunk) failing seed.  The output is C-flavoured for reading, not
+   for parsing back — a failure is reproduced from its seed, never from
+   this text. *)
+
+module Ast = Pacstack_minic.Ast
+
+let binop = function
+  | Ast.Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let relop = function
+  | Ast.Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr fmt (e : Ast.expr) =
+  match e with
+  | Int v -> Format.fprintf fmt "%Ld" v
+  | Var x -> Format.pp_print_string fmt x
+  | Addr_local x -> Format.fprintf fmt "&%s" x
+  | Addr_global g -> Format.fprintf fmt "&@@%s" g
+  | Addr_func f -> Format.fprintf fmt "&%s()" f
+  | Load e -> Format.fprintf fmt "*(%a)" expr e
+  | Load_byte e -> Format.fprintf fmt "*(u8*)(%a)" expr e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" expr a (binop op) expr b
+  | Call (f, args) -> Format.fprintf fmt "%s(%a)" f args_pp args
+  | Call_ptr (fe, args) -> Format.fprintf fmt "(*%a)(%a)" expr fe args_pp args
+
+and args_pp fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+    expr fmt args
+
+let cond fmt (Ast.Rel (op, a, b)) =
+  Format.fprintf fmt "%a %s %a" expr a (relop op) expr b
+
+let rec stmt fmt (s : Ast.stmt) =
+  match s with
+  | Let (x, e) -> Format.fprintf fmt "%s = %a;" x expr e
+  | Store (a, e) -> Format.fprintf fmt "*(%a) = %a;" expr a expr e
+  | Store_byte (a, e) -> Format.fprintf fmt "*(u8*)(%a) = %a;" expr a expr e
+  | Expr e -> Format.fprintf fmt "%a;" expr e
+  | If (c, t, []) -> Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" cond c body t
+  | If (c, t, f) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" cond c
+        body t body f
+  | While (c, b) -> Format.fprintf fmt "@[<v 2>while (%a) {%a@]@,}" cond c body b
+  | Return None -> Format.fprintf fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" expr e
+  | Tail_call (f, args) -> Format.fprintf fmt "tail return %s(%a);" f args_pp args
+  | Setjmp (x, buf) -> Format.fprintf fmt "%s = setjmp(%a);" x expr buf
+  | Longjmp (buf, v) -> Format.fprintf fmt "longjmp(%a, %a);" expr buf expr v
+  | Hook name -> Format.fprintf fmt "__hook(\"%s\");" name
+  | Print e -> Format.fprintf fmt "print(%a);" expr e
+  | Block b -> Format.fprintf fmt "@[<v 2>{%a@]@,}" body b
+  | Halt e -> Format.fprintf fmt "exit(%a);" expr e
+  | Try (b, x, h) ->
+      Format.fprintf fmt "@[<v 2>try {%a@]@,@[<v 2>} catch (%s) {%a@]@,}" body b
+        x body h
+  | Throw e -> Format.fprintf fmt "throw %a;" expr e
+
+and body fmt b = List.iter (fun s -> Format.fprintf fmt "@,%a" stmt s) b
+
+let local fmt = function
+  | Ast.Scalar x -> Format.fprintf fmt "int64 %s;" x
+  | Ast.Array (x, bytes) -> Format.fprintf fmt "u8 %s[%d];" x bytes
+
+let fdef fmt (f : Ast.fdef) =
+  Format.fprintf fmt "@[<v 2>%s(%s) {" f.fname (String.concat ", " f.params);
+  List.iter (fun l -> Format.fprintf fmt "@,%a" local l) f.locals;
+  body fmt f.body;
+  Format.fprintf fmt "@]@,}"
+
+let program fmt (p : Ast.program) =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (g, bytes) -> Format.fprintf fmt "u8 @@%s[%d];@," g bytes) p.globals;
+  List.iter (fun f -> Format.fprintf fmt "%a@," fdef f) p.fundefs;
+  Format.fprintf fmt "@]"
+
+let program_to_string p = Format.asprintf "%a" program p

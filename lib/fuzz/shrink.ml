@@ -1,0 +1,92 @@
+(* Delta-debugging shrinker for diverging programs.
+
+   Greedy descent over one-step reductions: drop a whole function, drop
+   a statement, replace a compound statement by one of its sub-bodies,
+   or splice a nested block into its parent.  A candidate is accepted
+   when [keep] still holds (i.e. the divergence still reproduces); the
+   predicate is applied under try — a candidate that no longer compiles
+   simply fails [keep] and is discarded.  Descent repeats to a fixpoint,
+   so the result is locally minimal: no single deletion preserves the
+   bug.  Statement counts use [Ast.program_size]. *)
+
+module Ast = Pacstack_minic.Ast
+
+(* All one-step reductions of a statement list: for each position,
+   remove the statement, splice its sub-body, or reduce it in place. *)
+let rec list_reductions (body : Ast.stmt list) : Ast.stmt list list =
+  let n = List.length body in
+  let arr = Array.of_list body in
+  let with_at i repl =
+    Array.to_list (Array.mapi (fun j s -> if j = i then repl else [ s ]) arr)
+    |> List.concat
+  in
+  List.concat
+    (List.init n (fun i ->
+         let s = arr.(i) in
+         with_at i [] (* drop statement i *)
+         :: List.map (fun s' -> with_at i [ s' ]) (stmt_reductions s)
+         @
+         match s with
+         | Ast.Block b -> [ with_at i b ] (* splice nested block *)
+         | _ -> []))
+
+and stmt_reductions (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.If (c, t, f) ->
+      [ Ast.Block t; Ast.Block f ]
+      @ List.map (fun t' -> Ast.If (c, t', f)) (list_reductions t)
+      @ List.map (fun f' -> Ast.If (c, t, f')) (list_reductions f)
+  | Ast.While (c, b) ->
+      Ast.Block b :: List.map (fun b' -> Ast.While (c, b')) (list_reductions b)
+  | Ast.Block b -> List.map (fun b' -> Ast.Block b') (list_reductions b)
+  | Ast.Try (b, x, h) ->
+      [ Ast.Block b; Ast.Block h ]
+      @ List.map (fun b' -> Ast.Try (b', x, h)) (list_reductions b)
+      @ List.map (fun h' -> Ast.Try (b, x, h')) (list_reductions h)
+  | Ast.Let _ | Ast.Store _ | Ast.Store_byte _ | Ast.Expr _ | Ast.Return _
+  | Ast.Tail_call _ | Ast.Setjmp _ | Ast.Longjmp _ | Ast.Hook _ | Ast.Print _
+  | Ast.Halt _ | Ast.Throw _ ->
+      []
+
+(* Candidate programs one step smaller than [p]: drop a non-main
+   function, or reduce one function body. *)
+let candidates (p : Ast.program) : Ast.program list =
+  let drop_funcs =
+    List.filter_map
+      (fun (f : Ast.fdef) ->
+        if f.fname = p.main then None
+        else
+          Some
+            {
+              p with
+              fundefs = List.filter (fun (g : Ast.fdef) -> g.fname <> f.fname) p.fundefs;
+            })
+      p.fundefs
+  in
+  let reduce_bodies =
+    List.concat_map
+      (fun (f : Ast.fdef) ->
+        List.map
+          (fun body' ->
+            {
+              p with
+              fundefs =
+                List.map
+                  (fun (g : Ast.fdef) ->
+                    if g.fname = f.fname then { g with body = body' } else g)
+                  p.fundefs;
+            })
+          (list_reductions f.body))
+      p.fundefs
+  in
+  drop_funcs @ reduce_bodies
+
+(* Greedy fixpoint: take the first accepted reduction, repeat. *)
+let shrink ~keep (p : Ast.program) =
+  let keeps q = try keep q with _ -> false in
+  let rec go p =
+    match List.find_opt keeps (candidates p) with
+    | Some p' -> go p'
+    | None -> p
+  in
+  if keeps p then go p else p

@@ -1,0 +1,43 @@
+(* Crash triage: bucket divergences by first-divergence site.
+
+   Two failures land in the same bucket when they diverge under the
+   same scheme and optimizer setting, at the same kind of site, with
+   the same outcome shape — the usual granularity at which one compiler
+   bug produces many failing seeds.  The report prints one exemplar
+   seed per bucket, cheapest first. *)
+
+module Scheme = Pacstack_harden.Scheme
+
+type entry = { seed : int; scheme : string; optimize : bool; site : string }
+
+let bucket_key (e : entry) =
+  Printf.sprintf "%s%s @ %s" e.scheme (if e.optimize then "+peephole" else "") e.site
+
+let of_divergence ~seed (d : Oracle.divergence) =
+  {
+    seed;
+    scheme = Scheme.to_string d.scheme;
+    optimize = d.optimize;
+    site = Oracle.site_to_string d.site;
+  }
+
+type bucket = { key : string; count : int; exemplar : int (* lowest seed *) }
+
+let buckets (entries : entry list) : bucket list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let key = bucket_key e in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key (1, e.seed)
+      | Some (n, ex) -> Hashtbl.replace tbl key (n + 1, min ex e.seed))
+    entries;
+  Hashtbl.fold (fun key (count, exemplar) acc -> { key; count; exemplar } :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.count a.count with 0 -> compare a.key b.key | c -> c)
+
+let pp_buckets fmt bs =
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "%4d  %-40s  e.g. seed %d@," b.count b.key b.exemplar)
+    bs

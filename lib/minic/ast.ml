@@ -75,3 +75,21 @@ let rec stmt_calls = function
 and calls_in_body body = List.exists stmt_calls body
 
 let has_arrays f = List.exists (function Array _ -> true | Scalar _ -> false) f.locals
+
+(* Statement counts, used by the fuzzer's shrinker to measure progress
+   and by tests to bound the size of a shrunk reproducer.  Every stmt
+   constructor counts as one, plus the contents of its sub-bodies. *)
+let rec stmt_size s =
+  1
+  +
+  match s with
+  | If (_, t, f) -> body_size t + body_size f
+  | While (_, b) | Block b -> body_size b
+  | Try (b, _, h) -> body_size b + body_size h
+  | Let _ | Store _ | Store_byte _ | Expr _ | Return _ | Tail_call _ | Setjmp _
+  | Longjmp _ | Hook _ | Print _ | Halt _ | Throw _ ->
+      0
+
+and body_size body = List.fold_left (fun acc s -> acc + stmt_size s) 0 body
+
+let program_size p = List.fold_left (fun acc f -> acc + body_size f.body) 0 p.fundefs

@@ -74,3 +74,12 @@ val calls_in_body : stmt list -> bool
     Listing 8). *)
 
 val has_arrays : fdef -> bool
+
+val stmt_size : stmt -> int
+(** Number of statement nodes in [s], counting nested bodies. *)
+
+val body_size : stmt list -> int
+
+val program_size : program -> int
+(** Total statement count over all function bodies — the size metric
+    minimised by the fuzzer's shrinker. *)

@@ -22,11 +22,12 @@ let write_csv ~dir ~name rows =
       List.iter (fun row -> Out_channel.output_string oc (String.concat "," row ^ "\n")) rows);
   path
 
-let table1 ?(seed = 1L) ~dir () =
+let table1 ?(seed = 1L) ?(scale = 1.0) ~dir () =
   let rng = Rng.create seed in
   let rows =
     List.map
       (fun (kind, masked, bits, trials) ->
+        let trials = max 1 (int_of_float ((float_of_int trials *. scale) +. 0.5)) in
         let theory = Analysis.table1_success_probability ~masked kind ~bits in
         let est = Games.violation_success ~masked ~kind ~bits ~harvest:600 ~trials rng in
         [
@@ -137,5 +138,5 @@ let attacks ~dir =
   in
   write_csv ~dir ~name:"attacks.csv" ([ "strategy"; "scheme"; "outcome" ] :: rows)
 
-let all ?seed ~dir () =
-  [ table1 ?seed ~dir (); figure5 ~dir; table2 ~dir; table3 ~dir; attacks ~dir ]
+let all ?seed ?scale ~dir () =
+  [ table1 ?seed ?scale ~dir (); figure5 ~dir; table2 ~dir; table3 ~dir; attacks ~dir ]

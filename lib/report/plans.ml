@@ -170,6 +170,98 @@ let bruteforce_plan ?(scale = 1.0) ?(pac_bits = 6) ?(shards = 5) ~seed () =
 
 let bruteforce_codec = int_codec
 
+(* --- differential fuzzing ------------------------------------------------ *)
+
+module Fuzz_driver = Pacstack_fuzz.Driver
+module Fuzz_oracle = Pacstack_fuzz.Oracle
+
+(* Shard = contiguous seed range.  Seed [i]'s program derives from
+   (campaign seed, i) alone — see Driver.seed_rng — so the report is
+   bit-identical at any worker count and any shard split. *)
+let fuzz_plan ?schemes ?optimize ?(seeds = 200) ?(shards = 8) ~seed () =
+  let cfg =
+    {
+      Fuzz_oracle.default_config with
+      schemes = Option.value schemes ~default:Fuzz_oracle.default_config.schemes;
+      optimize = Option.value optimize ~default:Fuzz_oracle.default_config.optimize;
+    }
+  in
+  let shards = max 1 (min shards seeds) in
+  let parts = Plan.split_trials ~trials:seeds ~shards in
+  let ranges =
+    let lo = ref 0 in
+    Array.map
+      (fun part ->
+        let range = (!lo, !lo + part) in
+        lo := !lo + part;
+        range)
+      parts
+  in
+  Plan.make ~name:"fuzz" ~seed
+    ~shards:
+      (Array.map (fun (lo, hi) -> (Printf.sprintf "seeds[%d,%d)" lo hi, hi - lo)) ranges)
+    ~run:(fun shard _rng ->
+      let lo, hi = ranges.(shard.Shard.index) in
+      Fuzz_driver.run_range cfg ~campaign_seed:seed ~lo ~hi)
+
+let fuzz_codec =
+  let failure_to_json (f : Fuzz_driver.failure) =
+    Json.Obj
+      [
+        ("seed", Json.Int f.Fuzz_driver.seed);
+        ("scheme", Json.String f.Fuzz_driver.scheme);
+        ("optimize", Json.Bool f.Fuzz_driver.optimize);
+        ("site", Json.String f.Fuzz_driver.site);
+        ("expected", Json.String f.Fuzz_driver.expected);
+        ("actual", Json.String f.Fuzz_driver.actual);
+      ]
+  in
+  let failure_of_json json =
+    let str k = Option.bind (Json.member k json) Json.to_str in
+    let int k = Option.bind (Json.member k json) Json.to_int in
+    match
+      ( int "seed", str "scheme",
+        Option.bind (Json.member "optimize" json) Json.to_bool,
+        str "site", str "expected", str "actual" )
+    with
+    | Some seed, Some scheme, Some optimize, Some site, Some expected, Some actual ->
+      Some { Fuzz_driver.seed; scheme; optimize; site; expected; actual }
+    | _ -> None
+  in
+  {
+    Checkpoint.encode =
+      (fun (s : Fuzz_driver.stats) ->
+        Json.Obj
+          [
+            ("programs", Json.Int s.Fuzz_driver.programs);
+            ("runs", Json.Int s.Fuzz_driver.runs);
+            ("skipped", Json.Int s.Fuzz_driver.skipped);
+            ("crashes", Json.Int s.Fuzz_driver.crashes);
+            ("failures", Json.List (List.map failure_to_json s.Fuzz_driver.failures));
+          ]);
+    decode =
+      (fun json ->
+        let int k = Option.bind (Json.member k json) Json.to_int in
+        match
+          ( int "programs", int "runs", int "skipped", int "crashes",
+            Json.member "failures" json )
+        with
+        | Some programs, Some runs, Some skipped, Some crashes, Some (Json.List fs) ->
+          let failures = List.filter_map failure_of_json fs in
+          if List.length failures = List.length fs then
+            Some { Fuzz_driver.programs; runs; skipped; crashes; failures }
+          else None
+        | _ -> None);
+  }
+
+let fuzz_totals outcome =
+  Campaign.fold outcome ~init:Fuzz_driver.empty ~f:Fuzz_driver.merge
+
+let fuzz_stats_json (s : Fuzz_driver.stats) =
+  match fuzz_codec.Checkpoint.encode s with
+  | Json.Obj fields -> fields
+  | other -> [ ("stats", other) ]
+
 (* --- overhead sweeps ----------------------------------------------------- *)
 
 let spec_schemes = Scheme.all
@@ -526,7 +618,34 @@ let server_entry =
             ]));
   }
 
+let fuzz_entry =
+  {
+    name = "fuzz";
+    doc = "differential fuzzing of the mini-C pipeline against the reference interpreter";
+    default_seed = 1L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = fuzz_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress ?checkpoint:(with_checkpoint checkpoint fuzz_codec)
+            plan
+        in
+        let totals = fuzz_totals outcome in
+        Format.fprintf fmt "%a@." Fuzz_driver.pp_stats totals;
+        Format.fprintf fmt "throughput: %.1f programs/s@."
+          (float_of_int totals.Fuzz_driver.programs /. max 1e-9 outcome.Campaign.elapsed_s);
+        (match Pacstack_fuzz.Triage.buckets (Fuzz_driver.triage_entries totals) with
+        | [] -> ()
+        | buckets ->
+          Format.fprintf fmt "@[<v>divergence buckets:@,%a@]@."
+            Pacstack_fuzz.Triage.pp_buckets buckets);
+        Json.Obj (outcome_header outcome @ fuzz_stats_json totals));
+  }
+
 let entries =
-  [ table1_entry; birthday_entry; guessing_entry; bruteforce_entry; spec_entry; server_entry ]
+  [
+    table1_entry; birthday_entry; guessing_entry; bruteforce_entry; spec_entry;
+    server_entry; fuzz_entry;
+  ]
 
 let find name = List.find_opt (fun e -> e.name = name) entries

@@ -67,6 +67,33 @@ val bruteforce_plan :
 
 val bruteforce_codec : int Checkpoint.codec
 
+(** {1 Differential fuzzing} *)
+
+val fuzz_plan :
+  ?schemes:Pacstack_harden.Scheme.t list ->
+  ?optimize:bool list ->
+  ?seeds:int ->
+  ?shards:int ->
+  seed:int64 ->
+  unit ->
+  Pacstack_fuzz.Driver.stats Plan.t
+(** Differential fuzzing of the mini-C pipeline: each shard fuzzes a
+    contiguous seed range (default 200 seeds over 8 shards) under the
+    given schemes and optimizer settings (defaults: all six schemes,
+    peephole off and on).  Seed [i]'s program depends only on the
+    campaign seed and [i], so results are identical at any worker
+    count. *)
+
+val fuzz_codec : Pacstack_fuzz.Driver.stats Checkpoint.codec
+
+val fuzz_totals :
+  Pacstack_fuzz.Driver.stats Campaign.outcome -> Pacstack_fuzz.Driver.stats
+(** Merge all shard statistics. *)
+
+val fuzz_stats_json : Pacstack_fuzz.Driver.stats -> (string * Json.t) list
+(** The merged statistics as JSON object fields (worker-count
+    independent — no timing). *)
+
 (** {1 Overhead sweeps} *)
 
 val spec_plan : seed:int64 -> unit -> Pacstack_workloads.Speclike.measurement Plan.t

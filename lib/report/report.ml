@@ -28,9 +28,9 @@ let section fmt title = Format.fprintf fmt "@.=== %s ===@." title
    by Plans.table1_plan, so the same table can be regenerated on one
    worker (the default — sequential, reproducible anywhere) or on many
    with bitwise-identical numbers. *)
-let table1 ?(seed = 1L) ?(workers = 1) ?progress fmt =
+let table1 ?(seed = 1L) ?(workers = 1) ?(scale = 1.0) ?progress fmt =
   section fmt "Table 1: max success probability of call-stack integrity violations";
-  let plan = Plans.table1_plan ~seed () in
+  let plan = Plans.table1_plan ~scale ~seed () in
   let outcome = Campaign.run ~workers ?progress plan in
   let per_cell = Plans.table1_estimates outcome in
   Format.fprintf fmt "%-34s %-8s %-6s %-12s %-12s@." "violation" "masking" "b" "paper(theory)"
@@ -177,28 +177,29 @@ let reuse_matrix fmt =
       Format.fprintf fmt "@.")
     (Reuse.matrix ())
 
-let birthday ?(seed = 2L) ?(workers = 1) ?progress fmt =
+let birthday ?(seed = 2L) ?(workers = 1) ?(scale = 1.0) ?progress fmt =
   section fmt "Collisions (paper 6.2.1) and mask hiding (Appendix A)";
   (* the harvest is sharded through the campaign engine; the Appendix A
      distinguisher games stay sequential on their own stream *)
-  let plan = Plans.birthday_plan ~seed () in
+  let plan = Plans.birthday_plan ~scale ~seed () in
   let outcome = Campaign.run ~workers ?progress plan in
   let measured = Plans.birthday_mean ~plan outcome in
   let rng = Rng.create seed in
   Format.fprintf fmt "tokens harvested until PAC collision (b=16): measured %.1f, paper ~%.1f@."
     measured
     (Analysis.collision_harvest_mean ~bits:16);
-  let adv = Games.mask_distinguisher_advantage ~bits:12 ~queries:256 ~trials:3000 rng in
+  let trials = max 1 (int_of_float ((3000.0 *. scale) +. 0.5)) in
+  let adv = Games.mask_distinguisher_advantage ~bits:12 ~queries:256 ~trials rng in
   Format.fprintf fmt
     "mask distinguisher advantage (b=12, 256 queries): %.4f (theory: negligible)@." adv;
-  let th = Games.theorem1_check ~bits:10 ~queries:128 ~trials:3000 rng in
+  let th = Games.theorem1_check ~bits:10 ~queries:128 ~trials rng in
   Format.fprintf fmt
     "Theorem 1 (Appendix A): collision adv %.4f <= 2 x distinguisher adv + slack = %.4f: %b@."
     th.Games.collision_advantage th.Games.bound th.Games.holds
 
-let bruteforce ?(seed = 3L) ?(workers = 1) ?progress fmt =
+let bruteforce ?(seed = 3L) ?(workers = 1) ?(scale = 1.0) ?progress fmt =
   section fmt "Brute-force guessing (paper 4.3)";
-  let guessing = Plans.guessing_plan ~seed () in
+  let guessing = Plans.guessing_plan ~scale ~seed () in
   let means = Plans.guessing_means ~plan:guessing (Campaign.run ~workers ?progress guessing) in
   Format.fprintf fmt "%-38s %-6s %12s %12s@." "strategy" "b" "measured" "expected";
   List.iteri
@@ -213,7 +214,7 @@ let bruteforce ?(seed = 3L) ?(workers = 1) ?progress fmt =
         (Format.asprintf "%a" Games.pp_guess_strategy strategy)
         bits means.(i) expected)
     Plans.guessing_rows;
-  let machine = Plans.bruteforce_plan ~seed () in
+  let machine = Plans.bruteforce_plan ~scale ~seed () in
   let outcome = Campaign.run ~workers ?progress machine in
   let trials = Pacstack_campaign.Plan.total_trials machine in
   let mean = float_of_int (Campaign.fold outcome ~init:0 ~f:( + )) /. float_of_int trials in

@@ -5,12 +5,14 @@
     All experiments are deterministic for a fixed [seed]. *)
 
 val table1 :
-  ?seed:int64 -> ?workers:int -> ?progress:Pacstack_campaign.Progress.sink ->
-  Format.formatter -> unit
+  ?seed:int64 -> ?workers:int -> ?scale:float ->
+  ?progress:Pacstack_campaign.Progress.sink -> Format.formatter -> unit
 (** Table 1: maximum success probability of call-stack integrity
     violations — closed forms next to Monte-Carlo estimates at a small
     PAC width. Routed through the campaign engine; [workers] defaults to
-    1 and the printed numbers are identical for any worker count. *)
+    1 and the printed numbers are identical for any worker count.
+    [scale] multiplies trial counts (tests regenerate the table at tiny
+    scales; the numbers are then noisy but the shape is exercised). *)
 
 val table2_and_figure5 : Format.formatter -> unit
 (** Table 2 (geometric-mean overheads, SPECrate and SPECspeed) and
@@ -23,17 +25,19 @@ val reuse_matrix : Format.formatter -> unit
 (** §6.1: the Listing 6 attack strategies against every scheme. *)
 
 val birthday :
-  ?seed:int64 -> ?workers:int -> ?progress:Pacstack_campaign.Progress.sink ->
-  Format.formatter -> unit
+  ?seed:int64 -> ?workers:int -> ?scale:float ->
+  ?progress:Pacstack_campaign.Progress.sink -> Format.formatter -> unit
 (** §6.2.1: harvested-token count until a PAC collision (campaign-
-    sharded), and the mask distinguisher advantage (Appendix A). *)
+    sharded), and the mask distinguisher advantage (Appendix A).
+    [scale] multiplies trial counts as in {!table1}. *)
 
 val bruteforce :
-  ?seed:int64 -> ?workers:int -> ?progress:Pacstack_campaign.Progress.sink ->
-  Format.formatter -> unit
+  ?seed:int64 -> ?workers:int -> ?scale:float ->
+  ?progress:Pacstack_campaign.Progress.sink -> Format.formatter -> unit
 (** §4.3: expected guesses under divide-and-conquer, re-seeded and
     independent strategies, plus the end-to-end forked-sibling attack —
-    both routed through the campaign engine. *)
+    both routed through the campaign engine.  [scale] multiplies trial
+    counts as in {!table1}. *)
 
 val gadget : Format.formatter -> unit
 (** §6.3.1: the signing gadget works at the PA level and is defeated by

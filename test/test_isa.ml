@@ -164,6 +164,131 @@ let prop_encode_roundtrip =
           offset land 7 <> 0 || offset < -256 || offset > 248
         | _ -> false))
 
+(* Valid-operand generator: every operand inside the documented encoding
+   limits (single-transfer offsets fit 12 signed bits, pair offsets are
+   8-aligned in 6 signed scaled bits, svc fits 8 bits), registers
+   including SP and XZR as bases. Under this generator [encode] must
+   never reject, so the roundtrip property has no escape hatch. *)
+let valid_instr_gen =
+  let open QCheck2.Gen in
+  let reg = map Reg.x (int_range 0 30) in
+  let any_reg = oneof [ reg; oneofl [ Reg.SP; Reg.XZR ] ] in
+  let operand =
+    oneof [ map (fun r -> Instr.Reg r) reg; map (fun i -> Instr.Imm i) full64 ]
+  in
+  let index = oneofl [ Instr.Offset; Instr.Pre; Instr.Post ] in
+  let mem =
+    map3
+      (fun base offset index -> { Instr.base; offset; index })
+      any_reg (int_range (-2048) 2047) index
+  in
+  let pair_mem =
+    map3
+      (fun base k index -> { Instr.base; offset = 8 * k; index })
+      any_reg (int_range (-32) 31) index
+  in
+  let label = oneofl [ "foo"; "bar"; ".L1"; "a_long_symbol_name" ] in
+  let cond = oneofl all_conds in
+  oneof
+    [
+      map3 (fun a b c -> Instr.Add (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Sub (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Mul (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Instr.Udiv (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Instr.And_ (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Orr (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Eor (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Lsl_ (a, b, c)) reg reg operand;
+      map3 (fun a b c -> Instr.Lsr_ (a, b, c)) reg reg operand;
+      map2 (fun a b -> Instr.Mov (a, b)) reg operand;
+      map2 (fun a b -> Instr.Cmp (a, b)) reg operand;
+      map2 (fun a b -> Instr.Adr (a, b)) reg label;
+      map2 (fun a b -> Instr.Ldr (a, b)) reg mem;
+      map2 (fun a b -> Instr.Str (a, b)) reg mem;
+      map2 (fun a b -> Instr.Ldrb (a, b)) reg mem;
+      map2 (fun a b -> Instr.Strb (a, b)) reg mem;
+      map3 (fun a b c -> Instr.Ldp (a, b, c)) reg reg pair_mem;
+      map3 (fun a b c -> Instr.Stp (a, b, c)) reg reg pair_mem;
+      map (fun l -> Instr.B l) label;
+      map2 (fun c l -> Instr.Bcond (c, l)) cond label;
+      map2 (fun r l -> Instr.Cbz (r, l)) reg label;
+      map2 (fun r l -> Instr.Cbnz (r, l)) reg label;
+      map (fun l -> Instr.Bl l) label;
+      map (fun r -> Instr.Blr r) reg;
+      map (fun r -> Instr.Br r) reg;
+      return (Instr.Ret Reg.lr);
+      return Instr.Retaa;
+      map2 (fun a b -> Instr.Pacia (a, b)) reg any_reg;
+      map2 (fun a b -> Instr.Autia (a, b)) reg any_reg;
+      return Instr.Paciasp;
+      return Instr.Autiasp;
+      map (fun r -> Instr.Xpaci r) reg;
+      map3 (fun a b c -> Instr.Pacga (a, b, c)) reg reg reg;
+      map (fun n -> Instr.Svc n) (int_range 0 255);
+      return Instr.Nop;
+      return Instr.Hlt;
+      map (fun l -> Instr.Hook l) label;
+    ]
+
+let prop_encode_roundtrip_valid =
+  qtest "encode/decode roundtrip, valid operands" 2000 valid_instr_gen (fun ins ->
+      let words, pools = Encode.encode [ ins ] in
+      Encode.decode words.(0) pools = ins)
+
+(* One instance of every constructor with extreme-but-legal operands,
+   encoded as one sequence: deterministic coverage of the whole ISA,
+   independent of generator luck. *)
+let test_encode_all_constructors () =
+  let m = { Instr.base = Reg.SP; offset = 2047; index = Instr.Offset } in
+  let m' = { Instr.base = Reg.x 30; offset = -2048; index = Instr.Pre } in
+  let pm = { Instr.base = Reg.SP; offset = -256; index = Instr.Post } in
+  let pm' = { Instr.base = Reg.x 0; offset = 248; index = Instr.Offset } in
+  let every =
+    [
+      Instr.Add (Reg.x 0, Reg.x 30, Instr.Imm Int64.min_int);
+      Instr.Sub (Reg.x 1, Reg.x 2, Instr.Reg (Reg.x 3));
+      Instr.Mul (Reg.x 4, Reg.x 5, Reg.x 6);
+      Instr.Udiv (Reg.x 7, Reg.x 8, Reg.x 9);
+      Instr.And_ (Reg.x 10, Reg.x 11, Instr.Imm (-1L));
+      Instr.Orr (Reg.x 12, Reg.x 13, Instr.Reg Reg.XZR);
+      Instr.Eor (Reg.x 14, Reg.x 15, Instr.Imm Int64.max_int);
+      Instr.Lsl_ (Reg.x 16, Reg.x 17, Instr.Imm 63L);
+      Instr.Lsr_ (Reg.x 18, Reg.x 19, Instr.Reg (Reg.x 20));
+      Instr.Mov (Reg.x 21, Instr.Imm 0x123456789abcdefL);
+      Instr.Cmp (Reg.x 22, Instr.Imm 0L);
+      Instr.Adr (Reg.x 23, "sym");
+      Instr.Ldr (Reg.x 24, m);
+      Instr.Str (Reg.x 25, m');
+      Instr.Ldrb (Reg.x 26, m);
+      Instr.Strb (Reg.x 27, m');
+      Instr.Ldp (Reg.x 28, Reg.x 29, pm);
+      Instr.Stp (Reg.x 0, Reg.x 1, pm');
+      Instr.B "sym";
+      Instr.Bcond (Cond.LO, "sym");
+      Instr.Cbz (Reg.x 2, "sym");
+      Instr.Cbnz (Reg.x 3, "other");
+      Instr.Bl "other";
+      Instr.Blr (Reg.x 4);
+      Instr.Br (Reg.x 5);
+      Instr.Ret (Reg.x 30);
+      Instr.Retaa;
+      Instr.Pacia (Reg.x 6, Reg.SP);
+      Instr.Autia (Reg.x 7, Reg.SP);
+      Instr.Paciasp;
+      Instr.Autiasp;
+      Instr.Xpaci (Reg.x 8);
+      Instr.Pacga (Reg.x 9, Reg.x 10, Reg.x 11);
+      Instr.Svc 255;
+      Instr.Nop;
+      Instr.Hlt;
+      Instr.Hook "h";
+    ]
+  in
+  let words, pools = Encode.encode every in
+  Alcotest.(check int) "one word each" (List.length every) (Array.length words);
+  Alcotest.(check bool) "decode_all inverts every constructor" true
+    (Encode.decode_all words pools = every)
+
 let test_encode_sequence () =
   let instrs =
     [
@@ -370,6 +495,8 @@ let () =
       ( "encode",
         [
           prop_encode_roundtrip;
+          prop_encode_roundtrip_valid;
+          Alcotest.test_case "every constructor" `Quick test_encode_all_constructors;
           Alcotest.test_case "sequence" `Quick test_encode_sequence;
           Alcotest.test_case "pool interning" `Quick test_encode_pools_interned;
           Alcotest.test_case "limits" `Quick test_encode_limits;

@@ -417,6 +417,24 @@ let test_peephole_preserves_semantics () =
       Alcotest.(check (list int64)) "optimized output equal" (out prog false) (out prog true))
     [ exn_prog ]
 
+(* Property form of semantics preservation: random whole programs from
+   the fuzz generator (functions, arrays, indirect calls, setjmp,
+   exceptions), compiled with and without the peephole under two
+   schemes, must produce identical machine traces. *)
+let prop_peephole_preserves =
+  let module Oracle = Pacstack_fuzz.Oracle in
+  let module Trace = Pacstack_fuzz.Trace in
+  qtest "peephole preserves random-program traces" 30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let prog = Pacstack_fuzz.Driver.program_of_seed ~campaign_seed:23L seed in
+      List.for_all
+        (fun scheme ->
+          Trace.equal
+            (Oracle.machine_trace Oracle.default_config ~scheme ~optimize:false prog)
+            (Oracle.machine_trace Oracle.default_config ~scheme ~optimize:true prog))
+        [ Scheme.Unprotected; Scheme.pacstack ])
+
 let test_peephole_reduces () =
   let prog =
     Ast.program
@@ -750,6 +768,7 @@ let () =
         [
           Alcotest.test_case "patterns" `Quick test_peephole_patterns;
           Alcotest.test_case "semantics preserved" `Quick test_peephole_preserves_semantics;
+          prop_peephole_preserves;
           Alcotest.test_case "reduces code" `Quick test_peephole_reduces;
         ] );
       ( "separate-compilation",

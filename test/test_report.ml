@@ -1,0 +1,104 @@
+(* Smoke tests for the report layer: regenerate the stochastic
+   tables/sections at tiny trial scales (the numbers are noisy at these
+   scales; only the machinery and the shape of the output are under
+   test), and golden-check the CSV export headers and row shape. *)
+
+module Report = Pacstack_report.Report
+module Export = Pacstack_report.Export
+
+let render section =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  section fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i = i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1)) in
+  scan 0
+
+let check_contains out needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "output mentions %S" needle) true
+        (contains out needle))
+    needles
+
+let test_table1_smoke () =
+  let out = render (Report.table1 ~seed:5L ~scale:0.001) in
+  check_contains out
+    [ "Table 1"; "violation"; "masking"; "paper(theory)"; "measured" ];
+  (* six data rows: one per Table 1 cell *)
+  Alcotest.(check int) "6 cells printed"
+    (List.length Pacstack_report.Plans.table1_cells)
+    (List.length
+       (List.filter
+          (fun line -> contains line "e-" || contains line "e+")
+          (String.split_on_char '\n' out)))
+
+let test_table1_smoke_workers () =
+  (* the tiny-scale rerun is identical on a 4-domain pool *)
+  Alcotest.(check string) "workers-independent"
+    (render (Report.table1 ~seed:5L ~scale:0.001))
+    (render (Report.table1 ~seed:5L ~scale:0.001 ~workers:4))
+
+let test_birthday_smoke () =
+  let out = render (Report.birthday ~seed:5L ~scale:0.01) in
+  check_contains out
+    [
+      "tokens harvested until PAC collision";
+      "mask distinguisher advantage";
+      "Theorem 1";
+    ]
+
+let test_bruteforce_smoke () =
+  let out = render (Report.bruteforce ~seed:5L ~scale:0.02) in
+  check_contains out [ "Brute-force guessing"; "strategy"; "measured"; "expected" ]
+
+(* --- CSV export: golden headers and row shape ------------------------------ *)
+
+let with_temp_dir f =
+  (* relative to the test's working directory, under dune's sandbox *)
+  let dir = "export_test_csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_export_table1_golden () =
+  with_temp_dir (fun dir ->
+      let path = Export.table1 ~seed:5L ~scale:0.001 ~dir () in
+      Alcotest.(check string) "file name" "table1.csv" (Filename.basename path);
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [] -> Alcotest.fail "empty csv"
+      | header :: rows ->
+        Alcotest.(check string) "golden header" "violation,masking,bits,theory,measured"
+          header;
+        Alcotest.(check int) "one row per Table 1 cell" 6 (List.length rows);
+        List.iter
+          (fun row ->
+            Alcotest.(check int) "5 fields" 5
+              (List.length (String.split_on_char ',' row)))
+          rows)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "sections",
+        [
+          Alcotest.test_case "table1 tiny-scale" `Quick test_table1_smoke;
+          Alcotest.test_case "table1 worker-independent" `Quick test_table1_smoke_workers;
+          Alcotest.test_case "birthday tiny-scale" `Quick test_birthday_smoke;
+          Alcotest.test_case "bruteforce tiny-scale" `Quick test_bruteforce_smoke;
+        ] );
+      ("export", [ Alcotest.test_case "table1 csv golden" `Quick test_export_table1_golden ]);
+    ]
