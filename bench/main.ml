@@ -160,6 +160,66 @@ let fuzz_throughput () =
   Format.printf "results identical across worker counts: %b@." identical;
   if not identical then failwith "fuzz determinism violated in bench harness"
 
+(* --- fault injection: faults/sec and retry overhead ---------------------- *)
+
+let injection_throughput () =
+  Format.printf "@.=== Fault injection: throughput ===@.";
+  let faults = 48 in
+  let time workers =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Campaign.run ~workers (Plans.inject_plan ~faults ~seed:7L ()) in
+    (Unix.gettimeofday () -. t0, Plans.inject_totals outcome)
+  in
+  let t1, s1 = time 1 in
+  let t4, s4 = time 4 in
+  Format.printf "1 worker:  %6.2fs  %7.1f faults/s@." t1 (float_of_int faults /. t1);
+  Format.printf "4 workers: %6.2fs  %7.1f faults/s  (speedup %.2fx)@." t4
+    (float_of_int faults /. t4) (t1 /. t4);
+  let silents cells =
+    List.fold_left (fun acc (_, c) -> acc + c.Pacstack_inject.Engine.silent) 0 cells
+  in
+  Format.printf "silent corruptions (all schemes): %d@." (silents s1.Pacstack_inject.Engine.cells);
+  let identical = s1 = s4 in
+  Format.printf "results identical across worker counts: %b@." identical;
+  if not identical then failwith "injection determinism violated in bench harness"
+
+(* Crash-tolerance tax: the same plan with every shard failing once
+   before succeeding, against the clean run — measures the retry path
+   (re-derived shard RNG + backoff), not the experiment itself. *)
+let retry_overhead () =
+  Format.printf "@.=== Campaign crash tolerance: retry overhead ===@.";
+  let faults = 24 in
+  let plan () = Plans.inject_plan ~faults ~seed:7L () in
+  let no_backoff = { Campaign.default_policy with Campaign.backoff_s = (fun _ -> 0.) } in
+  let time policy transform =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Campaign.run ~workers:1 ~policy (transform (plan ())) in
+    (Unix.gettimeofday () -. t0, Plans.inject_totals outcome)
+  in
+  let flaky (plan : _ Pacstack_campaign.Plan.t) =
+    let failed = Array.make (Pacstack_campaign.Plan.shard_count plan) false in
+    Pacstack_campaign.Plan.make ~name:plan.Pacstack_campaign.Plan.name
+      ~seed:plan.Pacstack_campaign.Plan.seed
+      ~shards:
+        (Array.map
+           (fun (s : Pacstack_campaign.Shard.t) ->
+             (s.Pacstack_campaign.Shard.label, s.Pacstack_campaign.Shard.trials))
+           plan.Pacstack_campaign.Plan.shards)
+      ~run:(fun shard rng ->
+        let i = shard.Pacstack_campaign.Shard.index in
+        if not failed.(i) then begin
+          failed.(i) <- true;
+          failwith "transient bench failure"
+        end;
+        plan.Pacstack_campaign.Plan.run shard rng)
+  in
+  let t_clean, s_clean = time no_backoff (fun p -> p) in
+  let t_flaky, s_flaky = time no_backoff flaky in
+  Format.printf "clean run:            %6.2fs@." t_clean;
+  Format.printf "every shard fails 1x: %6.2fs  (overhead %.2fx)@." t_flaky (t_flaky /. t_clean);
+  Format.printf "results identical despite retries: %b@." (s_clean = s_flaky);
+  if s_clean <> s_flaky then failwith "retry determinism violated in bench harness"
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
@@ -183,4 +243,6 @@ let () =
   run_bechamel ();
   campaign_scaling ();
   fuzz_throughput ();
+  injection_throughput ();
+  retry_overhead ();
   Format.printf "@.done.@."

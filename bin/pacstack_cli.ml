@@ -11,6 +11,7 @@ module Confirm = Pacstack_workloads.Confirm
 module Report = Pacstack_report.Report
 module Plans = Pacstack_report.Plans
 module Fuzz_driver = Pacstack_fuzz.Driver
+module Inject_engine = Pacstack_inject.Engine
 
 let scheme_conv =
   let parse s =
@@ -128,6 +129,32 @@ let all_cmd =
   section_cmd "all" "Regenerate every table, figure and security experiment." (fun fmt ->
       Report.all fmt)
 
+(* --- campaign-style subcommands: interrupt handling ----------------------- *)
+
+(* SIGINT/SIGTERM during a campaign flush every open checkpoint manifest
+   before exiting with the conventional 128+signum code, so an
+   interrupted run is always resumable from its last completed shard.
+   Installed only around the campaign-style subcommands and restored
+   afterwards. *)
+let with_campaign_signals f =
+  let install signum code =
+    match
+      Sys.signal signum
+        (Sys.Signal_handle
+           (fun _ ->
+             Pacstack_campaign.Checkpoint.flush_all ();
+             exit code))
+    with
+    | previous -> Some (signum, previous)
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let saved = List.filter_map (fun (s, c) -> install s c) [ (Sys.sigint, 130); (Sys.sigterm, 143) ] in
+  Fun.protect
+    ~finally:
+      (fun () ->
+        List.iter (fun (s, previous) -> try ignore (Sys.signal s previous) with _ -> ()) saved)
+    f
+
 (* --- campaign: the parallel experiment engine ----------------------------- *)
 
 let campaign_cmd =
@@ -173,6 +200,7 @@ let campaign_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
   in
   let action name workers seed resume json_out quiet =
+    with_campaign_signals @@ fun () ->
     if name = "list" then begin
       List.iter
         (fun e -> Printf.printf "%-12s %s (default seed %Ld)\n" e.Plans.name e.Plans.doc e.Plans.default_seed)
@@ -247,6 +275,7 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
   in
   let action seeds workers seed scheme no_peephole quiet =
+    with_campaign_signals @@ fun () ->
     if seeds < 1 then begin
       Printf.eprintf "pacstack: --seeds must be >= 1\n";
       1
@@ -319,6 +348,133 @@ let fuzz_cmd =
           scheme, with and without the peephole optimizer, checked against the reference \
           interpreter. Exits 1 if any divergence is found, with a shrunk reproducer.")
     Term.(const action $ seeds $ workers $ seed $ scheme $ no_peephole $ quiet)
+
+(* --- inject: deterministic fault injection ------------------------------- *)
+
+let inject_cmd =
+  let open Pacstack_campaign in
+  let faults =
+    Arg.(value & opt int 120 & info [ "n"; "faults" ] ~doc:"Number of faults to inject.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "w"; "workers" ]
+          ~doc:
+            "Worker domains; the report is identical for any value. 0 means one per \
+             recommended domain.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 7L
+      & info [ "seed" ] ~doc:"Campaign seed; fault $(i,i) depends only on (seed, i).")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (some scheme_conv) None
+      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: all six).")
+  in
+  let pac_bits =
+    Arg.(
+      value & opt int 4
+      & info [ "pac-bits" ]
+          ~doc:"PAC width of the simulated machine (default 4, collisions observable).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint manifest. Created if absent; shards already recorded there are \
+             restored instead of re-run.")
+  in
+  let gate =
+    Arg.(
+      value & opt scheme_conv Scheme.pacstack
+      & info [ "gate" ]
+          ~doc:"Exit 1 when any fault is silent under this scheme (default: pacstack).")
+  in
+  let no_gate =
+    Arg.(value & flag & info [ "no-gate" ] ~doc:"Report silent corruption without failing.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
+  in
+  let action faults workers seed scheme pac_bits resume gate no_gate quiet =
+    with_campaign_signals @@ fun () ->
+    if faults < 1 then begin
+      Printf.eprintf "pacstack: --faults must be >= 1\n";
+      1
+    end
+    else if pac_bits < 1 || pac_bits > 16 then begin
+      Printf.eprintf "pacstack: --pac-bits must be in [1, 16]\n";
+      1
+    end
+    else begin
+      let workers = if workers = 0 then Pool.default_workers () else workers in
+      let progress =
+        if quiet then Progress.null else Progress.formatter Format.err_formatter
+      in
+      let schemes = Option.map (fun s -> [ s ]) scheme in
+      let plan = Plans.inject_plan ?schemes ~pac_bits ~faults ~seed () in
+      let outcome =
+        Campaign.run ~workers ~progress
+          ?checkpoint:(Option.map (fun path -> (path, Plans.inject_codec)) resume)
+          plan
+      in
+      let totals = Plans.inject_totals outcome in
+      Plans.pp_inject_table Format.std_formatter totals;
+      (match outcome.Campaign.quarantined with
+      | [] -> ()
+      | qs ->
+        List.iter
+          (fun (q : Campaign.quarantine) ->
+            Printf.printf "quarantined shard %d (%s) after %d attempts: %s\n" q.Campaign.shard
+              q.Campaign.label q.Campaign.attempts q.Campaign.error)
+          qs);
+      let gate_name = Scheme.to_string gate in
+      let offenders =
+        if no_gate then []
+        else
+          List.filter
+            (fun (r : Inject_engine.reproducer) -> String.equal r.Inject_engine.scheme gate_name)
+            totals.Inject_engine.silents
+      in
+      match offenders with
+      | [] -> 0
+      | rs ->
+        Printf.printf "silent corruption under %s — JSON reproducers:\n" gate_name;
+        List.iter
+          (fun (r : Inject_engine.reproducer) ->
+            let json =
+              match Inject_engine.reproducer_to_json r with
+              | Json.Obj fields ->
+                Json.Obj
+                  (fields
+                  @ [
+                      ("seed", Json.String (Int64.to_string seed));
+                      ("pac_bits", Json.Int pac_bits);
+                    ])
+              | other -> other
+            in
+            print_endline (Json.to_string json))
+          rs;
+        1
+    end
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Deterministic fault injection: corrupt return slots, chain spills, registers, \
+          shadow entries, signal frames and the store-to-reload window under every hardening \
+          scheme, and classify each fault as detected, benign or silent against the \
+          un-faulted trace. Exits 1 with JSON reproducers when corruption is silent under \
+          the gated scheme.")
+    Term.(
+      const action $ faults $ workers $ seed $ scheme $ pac_bits $ resume $ gate $ no_gate
+      $ quiet)
 
 (* --- disasm: show what the loader put in the executable pages ----------- *)
 
@@ -401,6 +557,7 @@ let cmds =
     run_cmd;
     cc_cmd;
     fuzz_cmd;
+    inject_cmd;
     bench_cmd;
     confirm_cmd;
     disasm_cmd;

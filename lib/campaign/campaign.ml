@@ -1,14 +1,65 @@
+type policy = {
+  retries : int;
+  backoff_s : int -> float;
+  shard_fuel : int option;
+  fail_fast : bool;
+}
+
+let default_policy =
+  {
+    retries = 2;
+    (* deterministic exponential backoff: 5ms, 10ms, 20ms, ... — long
+       enough to step over a transient (fd pressure, allocator spike),
+       short enough that a deterministic failure costs milliseconds *)
+    backoff_s = (fun attempt -> 0.005 *. float_of_int (1 lsl (attempt - 1)));
+    shard_fuel = None;
+    fail_fast = false;
+  }
+
+type quarantine = {
+  shard : int;
+  label : string;
+  attempts : int;
+  error : string;
+  backtrace : string;
+}
+
 type 'r outcome = {
   plan_name : string;
   seed : int64;
-  results : 'r array;
+  results : 'r option array;
+  quarantined : quarantine list;
   elapsed_s : float;
   resumed : int;
   workers : int;
 }
 
-let run ?(workers = 1) ?(progress = Progress.null) ?checkpoint (plan : 'r Plan.t) =
+let results_exn outcome =
+  match outcome.quarantined with
+  | [] -> Array.map Option.get outcome.results
+  | qs ->
+    let detail =
+      String.concat "; "
+        (List.map (fun q -> Printf.sprintf "shard %d (%s): %s" q.shard q.label q.error) qs)
+    in
+    failwith
+      (Printf.sprintf "Campaign %s: %d shard(s) quarantined: %s" outcome.plan_name
+         (List.length qs) detail)
+
+(* Run one shard attempt under the watchdog budget (if any). The rng is
+   re-derived per attempt from (campaign seed, shard index) alone, so a
+   retry that succeeds produces the same result a first-attempt success
+   would have: crash tolerance never changes campaign results. *)
+let attempt_shard policy (plan : 'r Plan.t) (shard : Shard.t) =
+  let body () = plan.Plan.run shard (Shard.rng ~campaign_seed:plan.Plan.seed shard) in
+  match policy.shard_fuel with
+  | None -> body ()
+  | Some fuel -> Watchdog.with_budget fuel body
+
+let run ?(workers = 1) ?(progress = Progress.null) ?checkpoint ?(policy = default_policy)
+    (plan : 'r Plan.t) =
   if workers < 1 then invalid_arg "Campaign.run: workers < 1";
+  if policy.retries < 0 then invalid_arg "Campaign.run: retries < 0";
   let total = Plan.shard_count plan in
   let manifest, prior =
     match checkpoint with
@@ -39,32 +90,63 @@ let run ?(workers = 1) ?(progress = Progress.null) ?checkpoint (plan : 'r Plan.t
     let shard = plan.Plan.shards.(pending.(k)) in
     progress (Progress.Shard_started { name = plan.Plan.name; shard });
     let s0 = Unix.gettimeofday () in
-    let result = plan.Plan.run shard (Shard.rng ~campaign_seed:plan.Plan.seed shard) in
-    let elapsed_s = Unix.gettimeofday () -. s0 in
-    Option.iter (fun file -> Checkpoint.record file shard result) manifest;
-    let completed = 1 + Atomic.fetch_and_add shards_done 1 in
-    let executed = shard.Shard.trials + Atomic.fetch_and_add trials_done shard.Shard.trials in
-    let wall = Unix.gettimeofday () -. t0 in
-    let rate = float_of_int executed /. Float.max wall 1e-9 in
-    let remaining = trials_total - trials_resumed - executed in
-    progress
-      (Progress.Shard_finished
-         {
-           name = plan.Plan.name;
-           shard;
-           elapsed_s;
-           trials_per_sec = float_of_int shard.Shard.trials /. Float.max elapsed_s 1e-9;
-           completed;
-           total;
-           eta_s = float_of_int remaining /. Float.max rate 1e-9;
-         });
-    result
+    let rec attempt n =
+      (* n is 1-based; policy.retries extra attempts follow the first *)
+      match attempt_shard policy plan shard with
+      | result -> Either.Left result
+      | exception exn ->
+        let backtrace = Printexc.get_backtrace () in
+        if policy.fail_fast then raise exn
+        else if n <= policy.retries then begin
+          progress
+            (Progress.Shard_retried
+               { name = plan.Plan.name; shard; attempt = n; error = Printexc.to_string exn });
+          Unix.sleepf (policy.backoff_s n);
+          attempt (n + 1)
+        end
+        else begin
+          let error = Printexc.to_string exn in
+          progress
+            (Progress.Shard_quarantined
+               { name = plan.Plan.name; shard; attempts = n; error });
+          Option.iter (fun file -> Checkpoint.quarantine file shard ~attempts:n ~error) manifest;
+          Either.Right
+            { shard = shard.Shard.index; label = shard.Shard.label; attempts = n; error;
+              backtrace }
+        end
+    in
+    match attempt 1 with
+    | Either.Right _ as q -> q
+    | Either.Left result as r ->
+      Option.iter (fun file -> Checkpoint.record file shard result) manifest;
+      let completed = 1 + Atomic.fetch_and_add shards_done 1 in
+      let executed = shard.Shard.trials + Atomic.fetch_and_add trials_done shard.Shard.trials in
+      let wall = Unix.gettimeofday () -. t0 in
+      let rate = float_of_int executed /. Float.max wall 1e-9 in
+      let remaining = trials_total - trials_resumed - executed in
+      progress
+        (Progress.Shard_finished
+           {
+             name = plan.Plan.name;
+             shard;
+             elapsed_s = Unix.gettimeofday () -. s0;
+             trials_per_sec = float_of_int shard.Shard.trials /. Float.max (Unix.gettimeofday () -. s0) 1e-9;
+             completed;
+             total;
+             eta_s = float_of_int remaining /. Float.max rate 1e-9;
+           });
+      r
   in
   let fresh = Pool.run ~workers ~tasks:(Array.length pending) run_one in
   Option.iter Checkpoint.close manifest;
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  Array.iteri (fun k r -> prior.(pending.(k)) <- Some r) fresh;
-  let results = Array.map Option.get prior in
+  let quarantined = ref [] in
+  Array.iteri
+    (fun k -> function
+      | Either.Left r -> prior.(pending.(k)) <- Some r
+      | Either.Right q -> quarantined := q :: !quarantined)
+    fresh;
+  let quarantined = List.sort (fun a b -> compare a.shard b.shard) !quarantined in
   progress
     (Progress.Campaign_finished
        {
@@ -72,6 +154,8 @@ let run ?(workers = 1) ?(progress = Progress.null) ?checkpoint (plan : 'r Plan.t
          elapsed_s;
          trials_per_sec = float_of_int (Atomic.get trials_done) /. Float.max elapsed_s 1e-9;
        });
-  { plan_name = plan.Plan.name; seed = plan.Plan.seed; results; elapsed_s; resumed; workers }
+  { plan_name = plan.Plan.name; seed = plan.Plan.seed; results = prior; quarantined;
+    elapsed_s; resumed; workers }
 
-let fold outcome ~init ~f = Array.fold_left f init outcome.results
+let fold outcome ~init ~f =
+  Array.fold_left (fun acc -> function None -> acc | Some r -> f acc r) init outcome.results

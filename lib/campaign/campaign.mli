@@ -1,26 +1,64 @@
 (** The campaign engine: executes a {!Plan} on a {!Pool} of domains with
-    optional checkpoint/resume and structured {!Progress} events.
+    optional checkpoint/resume, crash tolerance and structured
+    {!Progress} events.
 
     Determinism contract: for a fixed plan (name, seed, shards), the
     [results] array is identical whatever [workers] is, whether or not the
     run was interrupted and resumed, and in what order shards happened to
     finish — every shard's generator is derived from the campaign seed
     and its index only (see {!Shard.rng}), and results are reported in
-    shard-index order. *)
+    shard-index order. Retries re-derive the same generator, so a shard
+    that succeeds on attempt 3 returns exactly what a first-attempt
+    success would have. *)
+
+type policy = {
+  retries : int;  (** extra attempts per shard after the first *)
+  backoff_s : int -> float;
+      (** seconds to sleep before retry [n] (1-based). Must be a pure
+          function of its argument for the deterministic-backoff
+          guarantee. *)
+  shard_fuel : int option;
+      (** {!Watchdog} budget installed around each attempt; [None]
+          disables the watchdog *)
+  fail_fast : bool;
+      (** abort the whole campaign on the first shard failure (the
+          pre-quarantine behaviour): the failure propagates as
+          {!Pool.Task_failed}. Completed shards are still checkpointed. *)
+}
+
+val default_policy : policy
+(** Tolerant: 2 retries with 5ms/10ms exponential backoff, no watchdog,
+    no fail-fast. *)
+
+type quarantine = {
+  shard : int;  (** shard index in the plan *)
+  label : string;
+  attempts : int;  (** attempts made, all failed *)
+  error : string;  (** the last attempt's exception, printed *)
+  backtrace : string;
+}
 
 type 'r outcome = {
   plan_name : string;
   seed : int64;
-  results : 'r array;  (** one result per shard, in shard-index order *)
+  results : 'r option array;
+      (** one entry per shard in shard-index order; [None] marks a
+          quarantined shard *)
+  quarantined : quarantine list;  (** in shard-index order; [] normally *)
   elapsed_s : float;  (** wall-clock for this run (resumed shards cost 0) *)
   resumed : int;  (** shards restored from the checkpoint manifest *)
   workers : int;
 }
 
+val results_exn : 'r outcome -> 'r array
+(** The plain results array for callers that cannot tolerate a missing
+    shard; raises [Failure] naming every quarantined shard otherwise. *)
+
 val run :
   ?workers:int ->
   ?progress:Progress.sink ->
   ?checkpoint:string * 'r Checkpoint.codec ->
+  ?policy:policy ->
   'r Plan.t ->
   'r outcome
 (** [run plan] executes every shard of [plan] and returns the merged
@@ -37,9 +75,18 @@ val run :
     at most the shards in flight. Raises [Failure] if the manifest at the
     path belongs to a different campaign.
 
+    [policy] (default {!default_policy}) controls crash tolerance: a
+    shard attempt that raises — including {!Watchdog.Exhausted} from the
+    per-attempt fuel budget — is retried after a deterministic backoff,
+    and after [retries] failed retries the shard is quarantined: recorded
+    in the manifest, reported in [quarantined], its [results] entry
+    [None]. Every other shard still runs, is checkpointed and is
+    bit-identical to an untroubled run.
+
     [progress] receives structured events; it is synchronized
     automatically when [workers > 1]. *)
 
 val fold : 'r outcome -> init:'a -> f:('a -> 'r -> 'a) -> 'a
-(** Folds over per-shard results in shard-index order — the merge step.
-    Any associative [f] therefore gives an order-independent total. *)
+(** Folds over per-shard results in shard-index order, skipping
+    quarantined shards — the merge step. Any associative [f] therefore
+    gives an order-independent total. *)

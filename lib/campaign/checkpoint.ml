@@ -1,6 +1,41 @@
 type 'r codec = { encode : 'r -> Json.t; decode : Json.t -> 'r option }
 
-type 'r file = { oc : out_channel; codec : 'r codec; mutex : Mutex.t }
+type 'r file = { id : int; oc : out_channel; codec : 'r codec; mutex : Mutex.t }
+
+(* Registry of open manifests, so a signal handler can flush everything
+   in flight ([flush_all]) before the process exits: an interrupted
+   campaign is then always resumable from its last completed shard.
+   [record] already flushes after every line, so the registry only
+   matters for out_channel buffering between a write and its flush — but
+   that window is exactly where SIGINT likes to land. *)
+let registry : (int, out_channel) Hashtbl.t = Hashtbl.create 7
+let registry_mutex = Mutex.create ()
+let next_id = ref 0
+
+let register oc =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace registry id oc;
+      id)
+
+let unregister id =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () -> Hashtbl.remove registry id)
+
+(* Called from signal handlers: if the interrupted thread holds the
+   registry lock, flush without it (iteration may then race a register,
+   but a best-effort flush beats a self-deadlock on the way out). *)
+let flush_all () =
+  let locked = Mutex.try_lock registry_mutex in
+  Fun.protect
+    ~finally:(fun () -> if locked then Mutex.unlock registry_mutex)
+    (fun () -> Hashtbl.iter (fun _ oc -> try flush oc with Sys_error _ -> ()) registry)
 
 let version = 1
 
@@ -67,18 +102,9 @@ let open_ ~path ~codec plan =
     output_char oc '\n';
     flush oc
   end;
-  ({ oc; codec; mutex = Mutex.create () }, prior)
+  ({ id = register oc; oc; codec; mutex = Mutex.create () }, prior)
 
-let record t (shard : Shard.t) result =
-  let line =
-    Json.Obj
-      [
-        ("shard", Json.Int shard.Shard.index);
-        ("label", Json.String shard.Shard.label);
-        ("trials", Json.Int shard.Shard.trials);
-        ("result", t.codec.encode result);
-      ]
-  in
+let append_line t line =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
@@ -87,4 +113,31 @@ let record t (shard : Shard.t) result =
       output_char t.oc '\n';
       flush t.oc)
 
-let close t = close_out t.oc
+let record t (shard : Shard.t) result =
+  append_line t
+    (Json.Obj
+       [
+         ("shard", Json.Int shard.Shard.index);
+         ("label", Json.String shard.Shard.label);
+         ("trials", Json.Int shard.Shard.trials);
+         ("result", t.codec.encode result);
+       ])
+
+(* A quarantine line has no "result" member, so [load_existing] never
+   restores it: a resumed campaign re-runs the quarantined shard (its
+   failure may have been environmental). The line exists so the manifest
+   documents what happened to every shard of a failed run. *)
+let quarantine t (shard : Shard.t) ~attempts ~error =
+  append_line t
+    (Json.Obj
+       [
+         ("shard", Json.Int shard.Shard.index);
+         ("label", Json.String shard.Shard.label);
+         ("quarantined", Json.Bool true);
+         ("attempts", Json.Int attempts);
+         ("error", Json.String error);
+       ])
+
+let close t =
+  unregister t.id;
+  close_out t.oc

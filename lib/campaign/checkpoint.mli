@@ -34,4 +34,15 @@ val record : 'r file -> Shard.t -> 'r -> unit
 (** Appends one completed-shard line and flushes. Safe to call from any
     domain (internally serialized). *)
 
+val quarantine : 'r file -> Shard.t -> attempts:int -> error:string -> unit
+(** Appends an informational line recording that the shard failed all its
+    retry attempts. Quarantine lines carry no result, so a resumed
+    campaign re-runs the shard rather than restoring its failure. *)
+
 val close : 'r file -> unit
+
+val flush_all : unit -> unit
+(** Flushes every manifest currently open in the process — what a
+    SIGINT/SIGTERM handler calls so an interrupted campaign is always
+    resumable from its last completed shard. Safe to call from any
+    domain and from a signal handler. *)

@@ -1,12 +1,32 @@
 let default_workers () = Domain.recommended_domain_count ()
 
-type 'a slot = Empty | Done of 'a | Failed of exn
+type 'a outcome = Ok of 'a | Crashed of exn * string
 
-let run ~workers ~tasks f =
-  if workers < 1 then invalid_arg "Pool.run: workers < 1";
-  if tasks < 0 then invalid_arg "Pool.run: tasks < 0";
+exception Task_failed of { task : int; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { task; exn; backtrace } ->
+      Some
+        (Printf.sprintf "Pool.Task_failed(task %d): %s%s" task (Printexc.to_string exn)
+           (if backtrace = "" then "" else "\n" ^ backtrace))
+    | _ -> None)
+
+type 'a slot = Empty | Filled of 'a outcome
+
+let capture f i =
+  match f i with
+  | r -> Ok r
+  | exception e ->
+    (* capture the backtrace before any other exception-raising code runs *)
+    let bt = Printexc.get_backtrace () in
+    Crashed (e, bt)
+
+let run_outcomes ~workers ~tasks f =
+  if workers < 1 then invalid_arg "Pool.run_outcomes: workers < 1";
+  if tasks < 0 then invalid_arg "Pool.run_outcomes: tasks < 0";
   if tasks = 0 then [||]
-  else if workers = 1 then Array.init tasks f
+  else if workers = 1 then Array.init tasks (capture f)
   else begin
     let results = Array.make tasks Empty in
     let next = Atomic.make 0 in
@@ -16,7 +36,7 @@ let run ~workers ~tasks f =
         if i < tasks then begin
           (* each slot is written by exactly one domain and read only
              after the joins below, which synchronize *)
-          (results.(i) <- (match f i with r -> Done r | exception e -> Failed e));
+          results.(i) <- Filled (capture f i);
           go ()
         end
       in
@@ -25,10 +45,13 @@ let run ~workers ~tasks f =
     let spawned = Array.init (min workers tasks - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join spawned;
-    Array.map
-      (function
-        | Done r -> r
-        | Failed e -> raise e
-        | Empty -> assert false)
-      results
+    Array.map (function Filled o -> o | Empty -> assert false) results
   end
+
+let run ~workers ~tasks f =
+  let outcomes = run_outcomes ~workers ~tasks f in
+  Array.mapi
+    (fun i -> function
+      | Ok r -> r
+      | Crashed (exn, backtrace) -> raise (Task_failed { task = i; exn; backtrace }))
+    outcomes

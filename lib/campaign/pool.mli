@@ -1,19 +1,36 @@
 (** A work-stealing pool of OCaml 5 domains.
 
-    [run ~workers ~tasks f] evaluates [f i] for every [i] in
-    [0 .. tasks - 1] and returns the results in task order. Tasks are
-    claimed from a shared atomic counter, so long tasks do not stall the
-    queue behind them. [workers = 1] runs inline on the calling domain
-    (no spawn, no synchronization); with more workers,
+    [run_outcomes ~workers ~tasks f] evaluates [f i] for every [i] in
+    [0 .. tasks - 1] and returns per-task outcomes in task order: [Ok r]
+    for a task that returned, [Crashed (exn, backtrace)] for one that
+    raised. Tasks are claimed from a shared atomic counter, so long tasks
+    do not stall the queue behind them. [workers = 1] runs inline on the
+    calling domain (no spawn, no synchronization); with more workers,
     [min workers tasks] domains are spawned and joined before returning.
+    A crashing task cancels nothing — every other task still runs and its
+    result is kept.
 
-    [f] must be safe to call from any domain. An exception raised by any
-    task cancels nothing — remaining tasks still run — but the first
-    exception (by task index) is re-raised after all domains join. *)
+    [f] must be safe to call from any domain. *)
+
+type 'a outcome = Ok of 'a | Crashed of exn * string
+(** [Crashed (exn, backtrace)]: the raised exception together with the
+    backtrace captured in the raising domain (empty unless backtrace
+    recording is on, as in the test runner). *)
+
+exception Task_failed of { task : int; exn : exn; backtrace : string }
+(** Raised by {!run}: the lowest-index crashed task, with the failing
+    task's index and captured backtrace attached. *)
 
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], the sensible [--workers] default
     for CPU-bound campaigns. *)
 
-val run : workers:int -> tasks:int -> (int -> 'a) -> 'a array
+val run_outcomes : workers:int -> tasks:int -> (int -> 'a) -> 'a outcome array
 (** Raises [Invalid_argument] if [workers < 1] or [tasks < 0]. *)
+
+val run : workers:int -> tasks:int -> (int -> 'a) -> 'a array
+(** {!run_outcomes} for callers that treat any task failure as fatal:
+    returns the plain results if every task completed, otherwise raises
+    {!Task_failed} for the first crashed task (by index) — after all
+    domains have joined, so completed results are computed but
+    discarded. Raises [Invalid_argument] as {!run_outcomes}. *)

@@ -16,6 +16,8 @@ type event =
       total : int;
       eta_s : float;
     }
+  | Shard_retried of { name : string; shard : Shard.t; attempt : int; error : string }
+  | Shard_quarantined of { name : string; shard : Shard.t; attempts : int; error : string }
   | Campaign_finished of { name : string; elapsed_s : float; trials_per_sec : float }
 
 type sink = event -> unit
@@ -32,6 +34,12 @@ let pp_event fmt = function
   | Shard_finished { name; shard; elapsed_s; trials_per_sec; completed; total; eta_s } ->
     Format.fprintf fmt "[%s] %d/%d %s: %.2fs (%.0f trials/s), ETA %.1fs" name completed total
       shard.Shard.label elapsed_s trials_per_sec eta_s
+  | Shard_retried { name; shard; attempt; error } ->
+    Format.fprintf fmt "[%s] shard %s failed attempt %d (%s), retrying" name shard.Shard.label
+      attempt error
+  | Shard_quarantined { name; shard; attempts; error } ->
+    Format.fprintf fmt "[%s] shard %s QUARANTINED after %d attempts: %s" name shard.Shard.label
+      attempts error
   | Campaign_finished { name; elapsed_s; trials_per_sec } ->
     Format.fprintf fmt "[%s] finished in %.2fs (%.0f trials/s)" name elapsed_s trials_per_sec
 

@@ -23,6 +23,18 @@ type event =
       total : int;  (** shards in the plan *)
       eta_s : float;  (** estimated wall-clock seconds to completion *)
     }
+  | Shard_retried of {
+      name : string;
+      shard : Shard.t;
+      attempt : int;  (** the attempt (1-based) that just failed *)
+      error : string;
+    }
+  | Shard_quarantined of {
+      name : string;
+      shard : Shard.t;
+      attempts : int;  (** attempts made, all failed *)
+      error : string;  (** the last attempt's exception *)
+    }
   | Campaign_finished of {
       name : string;
       elapsed_s : float;

@@ -1,0 +1,46 @@
+(* A fuel-based watchdog for shard execution.
+
+   Wall-clock timeouts are useless for a deterministic campaign engine:
+   they fire at different points on different machines (and on none in
+   CI), so a run that times out is not reproducible.  Instead the budget
+   is *fuel* — an abstract work counter the shard body decrements by
+   calling [tick] at natural checkpoints (one trial, one machine run).
+   Exhaustion then happens after exactly the same amount of work
+   everywhere, so a quarantined shard is quarantined on every machine
+   and at every worker count.
+
+   The budget lives in domain-local storage: [Campaign] installs it
+   around the shard body in whichever pool domain runs the shard, and
+   plan code just calls [tick] with no plumbing. *)
+
+exception Exhausted of { budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted { budget } ->
+      Some (Printf.sprintf "Watchdog.Exhausted(budget %d)" budget)
+    | _ -> None)
+
+type state = { budget : int; remaining : int ref }
+
+let key : state option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let with_budget budget f =
+  if budget < 1 then invalid_arg "Watchdog.with_budget: budget < 1";
+  let cell = Domain.DLS.get key in
+  let saved = !cell in
+  cell := Some { budget; remaining = ref budget };
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let remaining () =
+  match !(Domain.DLS.get key) with
+  | None -> None
+  | Some { remaining; _ } -> Some !remaining
+
+let tick ?(cost = 1) () =
+  if cost < 0 then invalid_arg "Watchdog.tick: cost < 0";
+  match !(Domain.DLS.get key) with
+  | None -> () (* no watchdog installed: ticks are free *)
+  | Some { budget; remaining } ->
+    remaining := !remaining - cost;
+    if !remaining < 0 then raise (Exhausted { budget })

@@ -1,0 +1,27 @@
+(** Fuel-based per-shard timeout watchdog.
+
+    Deterministic replacement for a wall-clock timeout: the shard body
+    reports work units by calling {!tick}, and once the installed budget
+    is exhausted {!Exhausted} is raised — after exactly the same amount
+    of work on every machine and at every worker count, so a
+    shard that runs away is quarantined reproducibly.
+
+    {!Campaign.run} installs the budget from its policy around each
+    shard attempt; plan code only ever calls {!tick}. Outside any
+    installed budget, ticks are free no-ops, so instrumented plans run
+    unchanged when no watchdog is configured. *)
+
+exception Exhausted of { budget : int }
+
+val with_budget : int -> (unit -> 'a) -> 'a
+(** [with_budget n f] runs [f ()] with a fresh fuel budget of [n] ticks
+    on the current domain, restoring the previous budget (if any) when
+    [f] returns or raises. Raises [Invalid_argument] if [n < 1]. *)
+
+val tick : ?cost:int -> unit -> unit
+(** Consumes [cost] (default 1) units of the innermost installed budget;
+    raises {!Exhausted} once the budget goes negative. No-op when no
+    budget is installed. *)
+
+val remaining : unit -> int option
+(** Fuel left in the installed budget, [None] outside {!with_budget}. *)

@@ -1,0 +1,505 @@
+(* The fault-injection engine.
+
+   One fault = one {!Fault.spec} applied to the victim under one
+   hardening scheme.  Every fault is run twice with identical PA keys:
+   once untouched (the reference), once with the corruption applied
+   mid-run.  The injected run is then classified against the reference
+   trace:
+
+   - [Detected]  — the machine trapped (or the runtime aborted: canary
+     exit 134, sigreturn kill 139).  The latency is the cycle distance
+     from the injection to the trap: how long the corrupt state lived.
+   - [Benign]    — the trace is identical to the reference: the fault
+     hit dead state (a frame already consumed, bits nobody reloads).
+   - [Silent]    — the trace diverges and nothing trapped.  This is the
+     headline metric: corruption that changed the program's behaviour
+     and was never caught.
+
+   Generic sites pause the machine at a trigger point (a fraction of
+   the reference run's retired instructions, via {!Machine.run_until}),
+   xor a pattern into the chosen slot and resume.  The two structured
+   sites replay the paper's actual attacks:
+
+   - [Reload_window] mounts the §6.1 reuse attack inside the §5.2
+     store-to-reload window.  A hook at full call depth harvests every
+     sibling path's control words during the first [Victim.paths]
+     rounds, then — on a later round — substitutes one sibling's two
+     control words for the current path's while they sit spilled on the
+     stack.  The diversion flows through the sibling's function tail
+     and rejoins main at the sibling's call site, shifting every later
+     printed value: silent unless some authentication rejects the
+     transplant.  Under unmasked PACStack the adversary picks the
+     sibling by matching harvested aret values (collisions are visible,
+     §6.1); under the masked variant the spills are masked and the pick
+     is blind, succeeding with probability 2^-b — the Appendix A
+     argument, mirrored from [Pacstack_harden.Surface.observable].
+   - [Signal_frame] boots the victim under the kernel personality,
+     delivers a signal at the trigger point and flips bits in the saved
+     PC inside the user-visible signal frame.  Under [Sig_chained]
+     (PACStack's Appendix B) the forged frame is killed at sigreturn
+     with exit 139; mainline-Linux-style unprotected frames resume
+     wherever the corrupt PC points.
+
+   Determinism: everything derives from (campaign seed, fault index)
+   through {!Fault}; machine keys come from the fault's private runtime
+   stream, copied so reference and injected runs see identical keys.
+   The same fault classifies identically at any worker count. *)
+
+module Rng = Pacstack_util.Rng
+module Config = Pacstack_pa.Config
+module Reg = Pacstack_isa.Reg
+module Scheme = Pacstack_harden.Scheme
+module Surface = Pacstack_harden.Surface
+module Machine = Pacstack_machine.Machine
+module Memory = Pacstack_machine.Memory
+module Trap = Pacstack_machine.Trap
+module Kernel = Pacstack_machine.Kernel
+module Compile = Pacstack_minic.Compile
+module Trace = Pacstack_fuzz.Trace
+module Json = Pacstack_campaign.Json
+module Watchdog = Pacstack_campaign.Watchdog
+
+type config = {
+  pac_bits : int;
+  fuel : int;
+  schemes : Scheme.t list;
+  tamper : (Machine.t -> unit) option;
+}
+
+let default_config =
+  { pac_bits = 4; fuel = 10_000_000; schemes = Scheme.all; tamper = None }
+
+type classification = Detected of { cause : string; latency : int } | Benign | Silent
+
+let classification_to_string = function
+  | Detected _ -> "detected"
+  | Benign -> "benign"
+  | Silent -> "silent"
+
+type result = { spec : Fault.spec; scheme : Scheme.t; classification : classification }
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing                                                     *)
+
+let machine_cfg cfg = Config.make ~pac_bits:cfg.pac_bits ()
+
+let trace_of m (outcome : Machine.outcome) =
+  let o =
+    match outcome with
+    | Machine.Halted c -> Trace.Exit c
+    | Machine.Faulted _ -> Trace.Trap
+    | Machine.Out_of_fuel -> Trace.Fuel
+  in
+  { Trace.outcome = o; output = Machine.output m }
+
+(* The runtime aborts detection turns into exit codes; both victims
+   return [s land 63], so 134/139 are unambiguous here. *)
+let classify ~ref_trace ~injected_cycles m (outcome : Machine.outcome) =
+  let latency () = Machine.cycles m - injected_cycles in
+  match outcome with
+  | Machine.Faulted t -> Detected { cause = Trap.to_string t; latency = latency () }
+  | Machine.Halted 134 -> Detected { cause = "canary-abort"; latency = latency () }
+  | Machine.Halted 139 -> Detected { cause = "sigreturn-kill"; latency = latency () }
+  | Machine.Halted _ | Machine.Out_of_fuel ->
+    if Trace.equal ref_trace (trace_of m outcome) then Benign else Silent
+
+(* ------------------------------------------------------------------ *)
+(* Generic sites: pause at the trigger, xor, resume                    *)
+
+(* Spread the spec's flip bits into the PAC field of the configured
+   geometry, so [Pac_bits] faults never touch address bits. *)
+let pac_pattern (mcfg : Config.t) flip =
+  let lo = Config.pac_lo mcfg and b = mcfg.Config.pac_bits in
+  let p = ref 0L in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_left 1L i) flip <> 0L then
+      p := Int64.logor !p (Int64.shift_left 1L (lo + (i mod b)))
+  done;
+  if !p = 0L then Int64.shift_left 1L lo else !p
+
+let control_slot_addr scheme m =
+  match Surface.control_slot scheme with
+  | Surface.Return_slot ->
+    Int64.add (Machine.get m Reg.fp) (Int64.of_int Surface.return_slot_offset)
+  | Surface.Chain_slot ->
+    Int64.add (Machine.get m Reg.fp) (Int64.of_int Surface.chain_spill_offset)
+  | Surface.Shadow_slot -> Int64.sub (Machine.get m Reg.shadow) 8L
+
+let apply_site cfg (spec : Fault.spec) scheme m =
+  match cfg.tamper with
+  | Some f -> f m
+  | None -> (
+    let mem = Machine.memory m in
+    let xor_mem addr pattern =
+      (* peek/poke: a trigger that lands while FP or X18 points outside
+         mapped memory corrupts nothing — the run classifies benign *)
+      match Memory.peek64 mem addr with
+      | Some v -> ignore (Memory.poke64 mem addr (Int64.logxor v pattern))
+      | None -> ()
+    in
+    let xor_reg r = Machine.set m r (Int64.logxor (Machine.get m r) spec.flip) in
+    let fp = Machine.get m Reg.fp in
+    match spec.site with
+    | Fault.Ret_slot -> xor_mem (Int64.add fp 8L) spec.flip
+    | Fault.Chain_spill -> xor_mem (Int64.sub fp 16L) spec.flip
+    | Fault.Cr_reg -> xor_reg Reg.cr
+    | Fault.Lr_reg -> xor_reg Reg.lr
+    | Fault.Shadow_slot -> xor_mem (Int64.sub (Machine.get m Reg.shadow) 8L) spec.flip
+    | Fault.Pac_bits ->
+      xor_mem (control_slot_addr scheme m) (pac_pattern (Machine.config m) spec.flip)
+    | Fault.Signal_frame | Fault.Reload_window -> assert false)
+
+let reference cfg compiled keys_rng =
+  let m = Machine.load ~cfg:(machine_cfg cfg) ~rng:(Rng.copy keys_rng) compiled in
+  let outcome = Machine.run ~fuel:cfg.fuel m in
+  (trace_of m outcome, max 1 (Machine.instructions_retired m))
+
+let run_generic cfg (spec : Fault.spec) scheme compiled keys_rng =
+  let ref_trace, total = reference cfg compiled keys_rng in
+  let trigger = max 1 (int_of_float (spec.trigger *. float_of_int total)) in
+  let m = Machine.load ~cfg:(machine_cfg cfg) ~rng:(Rng.copy keys_rng) compiled in
+  match
+    Machine.run_until ~fuel:cfg.fuel m ~stop:(fun m ->
+        Machine.instructions_retired m >= trigger)
+  with
+  | Some outcome -> classify ~ref_trace ~injected_cycles:(Machine.cycles m) m outcome
+  | None ->
+    let at = Machine.cycles m in
+    apply_site cfg spec scheme m;
+    let outcome = Machine.run ~fuel:cfg.fuel m in
+    classify ~ref_trace ~injected_cycles:at m outcome
+
+(* ------------------------------------------------------------------ *)
+(* Reload-window reuse attack (§5.2 window, §6.1 substitution)         *)
+
+(* Walk the saved-FP chain from the hook frame (probe) back to the path
+   function's frame, and name the two control words whose substitution
+   diverts mid's and the path's returns to a sibling site.  Offsets per
+   scheme come from {!Surface.control_slot}:
+
+   - return-slot schemes: the saved LRs [fp_mid + 8] (return into the
+     path's tail) and [fp_path + 8] (return to main's call site);
+   - PACStack: the chain spills [fp_inner - 16] (= aret binding mid's
+     return) and [fp_mid - 16] (= aret binding the path's return); the
+     transplant authenticates iff the sibling's aret for *probe's*
+     spill — the handle at [fp_probe - 16] — collides with the current
+     one (both are consumed against the same spilled token);
+   - shadow stack: the entries at [x18 - 24] (pushed by mid) and
+     [x18 - 32] (pushed by the path); the shadow value is authoritative
+     on return, so the transplant needs no stack-slot help. *)
+let window_slots scheme m =
+  let load a = Memory.load64 (Machine.memory m) a in
+  let fp_probe = Machine.get m Reg.fp in
+  let fp_inner = load fp_probe in
+  let fp_mid = load fp_inner in
+  let fp_path = load fp_mid in
+  match Surface.control_slot scheme with
+  | Surface.Return_slot -> (Int64.add fp_mid 8L, Int64.add fp_path 8L, Int64.add fp_mid 8L)
+  | Surface.Chain_slot ->
+    (Int64.sub fp_inner 16L, Int64.sub fp_mid 16L, Int64.sub fp_probe 16L)
+  | Surface.Shadow_slot ->
+    let x18 = Machine.get m Reg.shadow in
+    (Int64.sub x18 24L, Int64.sub x18 32L, Int64.sub x18 24L)
+
+(* First harvested pair with identical handles, scanning in index
+   order — the adversary's deterministic collision match. *)
+let first_collision handles =
+  let n = Array.length handles in
+  let found = ref None in
+  (try
+     for a = 0 to n - 2 do
+       for b = a + 1 to n - 1 do
+         if Int64.equal handles.(a) handles.(b) then begin
+           found := Some (a, b);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let blind_pair (spec : Fault.spec) =
+  let paths = Victim.paths in
+  let x = spec.round mod paths in
+  let y = (x + 1 + (spec.pick mod (paths - 1))) mod paths in
+  (x, y)
+
+let run_window cfg (spec : Fault.spec) scheme compiled keys_rng =
+  let ref_trace, _ = reference cfg compiled keys_rng in
+  let m = Machine.load ~cfg:(machine_cfg cfg) ~rng:(Rng.copy keys_rng) compiled in
+  let paths = Victim.paths in
+  let handles = Array.make paths 0L in
+  let w1s = Array.make paths 0L in
+  let w2s = Array.make paths 0L in
+  let round = ref 0 in
+  let plan = ref None in
+  let injected_at = ref None in
+  let hook hm =
+    let mem = Machine.memory hm in
+    let w1_addr, w2_addr, handle_addr = window_slots scheme hm in
+    let j = !round in
+    if j < paths then begin
+      (* harvest cycle: round j runs path j — record its control words *)
+      handles.(j) <- Memory.load64 mem handle_addr;
+      w1s.(j) <- Memory.load64 mem w1_addr;
+      w2s.(j) <- Memory.load64 mem w2_addr
+    end
+    else begin
+      (if !plan = None then
+         let pair =
+           if Surface.observable scheme then
+             match first_collision handles with
+             | Some p -> p
+             | None -> blind_pair spec
+           else blind_pair spec
+         in
+         plan := Some pair);
+      let x, y = Option.get !plan in
+      if j = paths + x && !injected_at = None then begin
+        (match cfg.tamper with
+        | Some f -> f hm
+        | None ->
+          Memory.store64 mem w1_addr w1s.(y);
+          Memory.store64 mem w2_addr w2s.(y));
+        injected_at := Some (Machine.cycles hm)
+      end
+    end;
+    incr round
+  in
+  Machine.attach_hook m Victim.window_hook hook;
+  let outcome = Machine.run ~fuel:cfg.fuel m in
+  let at = match !injected_at with Some c -> c | None -> Machine.cycles m in
+  classify ~ref_trace ~injected_cycles:at m outcome
+
+(* ------------------------------------------------------------------ *)
+(* Kernel signal-frame corruption (Appendix B)                         *)
+
+let signal_policy scheme =
+  match (scheme : Scheme.t) with
+  | Scheme.Pacstack _ -> Kernel.Sig_chained
+  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection
+  | Scheme.Shadow_stack ->
+    Kernel.Sig_unprotected
+
+(* Index of the saved PC in [Machine.context_words] order
+   (X0..X30, SP, PC, flags). *)
+let saved_pc_index = 32
+
+let run_signal cfg (spec : Fault.spec) scheme keys_rng =
+  let compiled = Compile.compile ~scheme (Victim.signal_program ()) in
+  let policy = signal_policy scheme in
+  let boot rng =
+    let k = Kernel.create ~signal_policy:policy rng in
+    let p = Kernel.boot k compiled in
+    (k, p, Kernel.machine p)
+  in
+  (* size the trigger off a delivery-free run, so reference and injected
+     runs both deliver at the same retired-instruction point *)
+  let _, _, base_m = boot (Rng.copy keys_rng) in
+  ignore (Machine.run ~fuel:cfg.fuel base_m);
+  let total = max 1 (Machine.instructions_retired base_m) in
+  let trigger = max 1 (int_of_float (spec.trigger *. float_of_int total)) in
+  (* keep the corruption inside the code segment: flip only low,
+     4-byte-aligned PC bits so an unprotected resume lands on some other
+     instruction rather than trivially faulting on unmapped memory *)
+  let pc_flip =
+    let f = Int64.logand spec.flip 0xfcL in
+    if Int64.equal f 0L then 4L else f
+  in
+  let run ~corrupt =
+    let k, p, m = boot (Rng.copy keys_rng) in
+    match
+      Machine.run_until ~fuel:cfg.fuel m ~stop:(fun m ->
+          Machine.instructions_retired m >= trigger)
+    with
+    | Some outcome -> (trace_of m outcome, Machine.cycles m, m, outcome)
+    | None ->
+      Kernel.deliver_signal k p ~handler:Victim.handler_name ~signum:14;
+      let at = Machine.cycles m in
+      if corrupt then begin
+        match cfg.tamper with
+        | Some f -> f m
+        | None ->
+          let sp = Machine.get m Reg.SP in
+          let addr = Int64.add sp (Int64.of_int (8 * saved_pc_index)) in
+          let v = Memory.load64 (Machine.memory m) addr in
+          Memory.store64 (Machine.memory m) addr (Int64.logxor v pc_flip)
+      end;
+      let outcome = Machine.run ~fuel:cfg.fuel m in
+      (trace_of m outcome, at, m, outcome)
+  in
+  let ref_trace, _, _, _ = run ~corrupt:false in
+  let _, at, m, outcome = run ~corrupt:true in
+  classify ~ref_trace ~injected_cycles:at m outcome
+
+(* ------------------------------------------------------------------ *)
+(* Per-fault driver                                                    *)
+
+let run_one cfg (spec : Fault.spec) scheme keys_rng =
+  match spec.site with
+  | Fault.Signal_frame -> run_signal cfg spec scheme keys_rng
+  | Fault.Reload_window ->
+    run_window cfg spec scheme (Compile.compile ~scheme (Victim.program ())) keys_rng
+  | Fault.Ret_slot | Fault.Chain_spill | Fault.Cr_reg | Fault.Lr_reg | Fault.Shadow_slot
+  | Fault.Pac_bits ->
+    run_generic cfg spec scheme (Compile.compile ~scheme (Victim.program ())) keys_rng
+
+let run_fault cfg ~campaign_seed index =
+  let spec = Fault.derive ~campaign_seed index in
+  let keys_rng = Fault.rng ~campaign_seed index in
+  List.map
+    (fun scheme ->
+      Watchdog.tick ();
+      { spec; scheme; classification = run_one cfg spec scheme (Rng.copy keys_rng) })
+    cfg.schemes
+
+(* ------------------------------------------------------------------ *)
+(* Mergeable campaign statistics                                       *)
+
+type cell = { detected : int; benign : int; silent : int; latency_sum : int }
+
+let cell_zero = { detected = 0; benign = 0; silent = 0; latency_sum = 0 }
+
+let cell_add a b =
+  {
+    detected = a.detected + b.detected;
+    benign = a.benign + b.benign;
+    silent = a.silent + b.silent;
+    latency_sum = a.latency_sum + b.latency_sum;
+  }
+
+type reproducer = { fault : int; scheme : string; site : string }
+
+type stats = {
+  faults : int;
+  cells : (string * cell) list;  (** per scheme name, canonical order *)
+  silents : reproducer list;  (** sorted by (fault, scheme) *)
+}
+
+let empty = { faults = 0; cells = []; silents = [] }
+
+let scheme_rank =
+  let names = List.map Scheme.to_string Scheme.all in
+  fun n ->
+    let rec find i = function
+      | [] -> List.length names
+      | x :: rest -> if String.equal x n then i else find (i + 1) rest
+    in
+    find 0 names
+
+let sort_cells cells =
+  List.stable_sort
+    (fun (a, _) (b, _) -> compare (scheme_rank a, a) (scheme_rank b, b))
+    cells
+
+let sort_silents silents =
+  List.stable_sort (fun a b -> compare (a.fault, a.scheme) (b.fault, b.scheme)) silents
+
+let bump_cell cells name f =
+  let found = List.mem_assoc name cells in
+  let cells =
+    if found then List.map (fun (n, c) -> if String.equal n name then (n, f c) else (n, c)) cells
+    else cells @ [ (name, f cell_zero) ]
+  in
+  sort_cells cells
+
+let add_result stats (r : result) =
+  let name = Scheme.to_string r.scheme in
+  let cells =
+    bump_cell stats.cells name (fun c ->
+        match r.classification with
+        | Detected { latency; _ } ->
+          { c with detected = c.detected + 1; latency_sum = c.latency_sum + latency }
+        | Benign -> { c with benign = c.benign + 1 }
+        | Silent -> { c with silent = c.silent + 1 })
+  in
+  let silents =
+    match r.classification with
+    | Silent ->
+      sort_silents
+        ({ fault = r.spec.Fault.index; scheme = name; site = Fault.site_to_string r.spec.Fault.site }
+        :: stats.silents)
+    | Detected _ | Benign -> stats.silents
+  in
+  { stats with cells; silents }
+
+let merge a b =
+  let cells =
+    List.fold_left (fun acc (n, c) -> bump_cell acc n (fun cur -> cell_add cur c)) a.cells b.cells
+  in
+  {
+    faults = a.faults + b.faults;
+    cells;
+    silents = sort_silents (a.silents @ b.silents);
+  }
+
+let run_range cfg ~campaign_seed ~first ~count =
+  let stats = ref empty in
+  for i = first to first + count - 1 do
+    let results = run_fault cfg ~campaign_seed i in
+    stats :=
+      List.fold_left add_result { !stats with faults = !stats.faults + 1 } results
+  done;
+  !stats
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec (campaign checkpoint payload)                            *)
+
+let reproducer_to_json r =
+  Json.Obj
+    [
+      ("fault", Json.Int r.fault);
+      ("scheme", Json.String r.scheme);
+      ("site", Json.String r.site);
+    ]
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("faults", Json.Int s.faults);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun (n, c) ->
+               Json.Obj
+                 [
+                   ("scheme", Json.String n);
+                   ("detected", Json.Int c.detected);
+                   ("benign", Json.Int c.benign);
+                   ("silent", Json.Int c.silent);
+                   ("latency_sum", Json.Int c.latency_sum);
+                 ])
+             s.cells) );
+      ("silents", Json.List (List.map reproducer_to_json s.silents));
+    ]
+
+let stats_of_json j =
+  let ( let* ) = Option.bind in
+  let int k o = Option.bind (Json.member k o) Json.to_int in
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  let* faults = int "faults" j in
+  let* cells = Option.bind (Json.member "cells" j) Json.to_list in
+  let* cells =
+    List.fold_left
+      (fun acc o ->
+        let* acc = acc in
+        let* n = str "scheme" o in
+        let* detected = int "detected" o in
+        let* benign = int "benign" o in
+        let* silent = int "silent" o in
+        let* latency_sum = int "latency_sum" o in
+        Some (acc @ [ (n, { detected; benign; silent; latency_sum }) ]))
+      (Some []) cells
+  in
+  let* silents = Option.bind (Json.member "silents" j) Json.to_list in
+  let* silents =
+    List.fold_left
+      (fun acc o ->
+        let* acc = acc in
+        let* fault = int "fault" o in
+        let* scheme = str "scheme" o in
+        let* site = str "site" o in
+        Some (acc @ [ { fault; scheme; site } ]))
+      (Some []) silents
+  in
+  Some { faults; cells = sort_cells cells; silents = sort_silents silents }

@@ -1,0 +1,72 @@
+(** The deterministic fault-injection engine: applies a {!Fault.spec} to
+    the {!Victim} under each hardening scheme mid-run and classifies the
+    outcome against an un-faulted reference execution. *)
+
+module Scheme = Pacstack_harden.Scheme
+module Machine = Pacstack_machine.Machine
+module Json = Pacstack_campaign.Json
+
+type config = {
+  pac_bits : int;
+      (** PAC width of the simulated machine; the default 4 makes the
+          2^-b collision events of the reuse analysis observable at
+          small campaign sizes *)
+  fuel : int;  (** per-run instruction budget *)
+  schemes : Scheme.t list;  (** schemes every fault is evaluated under *)
+  tamper : (Machine.t -> unit) option;
+      (** test-only: replaces the site corruption at the injection
+          point — used to plant a known-silent fault and check the
+          campaign gate catches it. Never set in production. *)
+}
+
+val default_config : config
+(** [pac_bits = 4], default fuel, all six schemes, no tamper. *)
+
+type classification =
+  | Detected of { cause : string; latency : int }
+      (** trapped (or runtime abort: canary 134, sigreturn kill 139);
+          [latency] is cycles from injection to detection *)
+  | Benign  (** trace identical to the un-faulted reference *)
+  | Silent  (** trace diverged with no trap — the headline metric *)
+
+val classification_to_string : classification -> string
+
+type result = {
+  spec : Fault.spec;
+  scheme : Scheme.t;
+  classification : classification;
+}
+
+val run_fault : config -> campaign_seed:int64 -> int -> result list
+(** Derives fault [index] and runs it under every configured scheme.
+    Pure in (config, seed, index): same inputs, same classifications,
+    on any worker. Ticks the {!Pacstack_campaign.Watchdog} once per
+    scheme. *)
+
+(** {1 Mergeable campaign statistics} *)
+
+type cell = { detected : int; benign : int; silent : int; latency_sum : int }
+
+type reproducer = { fault : int; scheme : string; site : string }
+(** Everything needed to replay a silent corruption:
+    [run_fault cfg ~campaign_seed fault]. *)
+
+type stats = {
+  faults : int;
+  cells : (string * cell) list;  (** per scheme name, canonical order *)
+  silents : reproducer list;  (** sorted by (fault, scheme) *)
+}
+
+val empty : stats
+val add_result : stats -> result -> stats
+
+val merge : stats -> stats -> stats
+(** Associative and commutative up to the canonical orderings — shard
+    merge order cannot change the campaign result. *)
+
+val run_range : config -> campaign_seed:int64 -> first:int -> count:int -> stats
+(** Runs faults [first .. first + count - 1] — one campaign shard. *)
+
+val stats_to_json : stats -> Json.t
+val stats_of_json : Json.t -> stats option
+val reproducer_to_json : reproducer -> Json.t

@@ -1,0 +1,91 @@
+(* Deterministic fault specifications.
+
+   A fault spec is a pure function of (campaign seed, fault index): the
+   same pair always derives the same site, trigger point and corruption
+   pattern, on any machine and at any worker count.  That is the whole
+   reproducibility story — a silent corruption found by a 16-worker
+   overnight campaign is replayed from the two numbers in its JSON
+   reproducer, nothing else. *)
+
+module Rng = Pacstack_util.Rng
+module Json = Pacstack_campaign.Json
+
+type site =
+  | Ret_slot  (** the live frame's saved return address, [fp + 8] *)
+  | Chain_spill  (** the live frame's CR spill, [fp - 16] *)
+  | Cr_reg  (** the chain register X28 itself *)
+  | Lr_reg  (** the link register *)
+  | Shadow_slot  (** the topmost shadow-stack entry *)
+  | Pac_bits  (** a subset of the PAC field of the spilled chain value *)
+  | Signal_frame  (** the saved PC inside a kernel signal frame *)
+  | Reload_window  (** the §5.2 store-to-reload TOCTOU: substitute a
+                       harvested sibling control word inside the window *)
+
+let all_sites =
+  [|
+    Ret_slot; Chain_spill; Cr_reg; Lr_reg; Shadow_slot; Pac_bits; Signal_frame; Reload_window;
+  |]
+
+let site_to_string = function
+  | Ret_slot -> "ret-slot"
+  | Chain_spill -> "chain-spill"
+  | Cr_reg -> "cr-reg"
+  | Lr_reg -> "lr-reg"
+  | Shadow_slot -> "shadow-slot"
+  | Pac_bits -> "pac-bits"
+  | Signal_frame -> "signal-frame"
+  | Reload_window -> "reload-window"
+
+let site_of_string s =
+  Array.find_opt (fun site -> site_to_string site = s) all_sites
+
+type spec = {
+  index : int;
+  site : site;
+  trigger : float;
+  flip : int64;
+  round : int;
+  pick : int;
+}
+
+(* The derivation stream is salted so it shares nothing with the fuzz
+   driver's [create (seed + i)] streams at equal seeds. *)
+let salt = 0x696E_6A65_6374L (* "inject" *)
+
+let root ~campaign_seed index =
+  Rng.create (Int64.logxor salt (Int64.add campaign_seed (Int64.of_int index)))
+
+(* first split: spec derivation; second split: runtime draws (machine
+   keys, blind picks) — disjoint streams from one (seed, index) root *)
+let rng ~campaign_seed index =
+  let r = root ~campaign_seed index in
+  let _spec_stream = Rng.split r in
+  Rng.split r
+
+let derive ~campaign_seed index =
+  let rng = Rng.split (root ~campaign_seed index) in
+  let site = Rng.choose rng all_sites in
+  (* keep the trigger away from the first and last instructions: faults
+     during _start / __halt glue corrupt nothing interesting *)
+  let trigger = 0.05 +. (0.85 *. Rng.float rng) in
+  let flips = 1 + Rng.int rng 3 in
+  let flip = ref 0L in
+  for _ = 1 to flips do
+    flip := Int64.logor !flip (Int64.shift_left 1L (2 + Rng.int rng 54))
+  done;
+  let round = Rng.int rng 1_000_000 in
+  let pick = Rng.int rng 1_000_000 in
+  { index; site; trigger; flip = !flip; round; pick }
+
+let to_json (t : spec) =
+  Json.Obj
+    [
+      ("fault", Json.Int t.index);
+      ("site", Json.String (site_to_string t.site));
+      ("trigger", Json.Float t.trigger);
+      ("flip", Json.String (Printf.sprintf "0x%Lx" t.flip));
+    ]
+
+let pp fmt (t : spec) =
+  Format.fprintf fmt "fault %d: %s @%.2f flip=0x%Lx" t.index (site_to_string t.site) t.trigger
+    t.flip

@@ -1,0 +1,41 @@
+(** Deterministic fault specifications: a pure function of
+    (campaign seed, fault index) choosing what to corrupt, when, and
+    how — the reproducibility anchor of the whole injection engine. *)
+
+type site =
+  | Ret_slot  (** the live frame's saved return address, [fp + 8] *)
+  | Chain_spill  (** the live frame's CR spill, [fp - 16] *)
+  | Cr_reg  (** the chain register X28 itself (a register-file glitch) *)
+  | Lr_reg  (** the link register (a register-file glitch) *)
+  | Shadow_slot  (** the topmost shadow-stack entry *)
+  | Pac_bits  (** a subset of the PAC bits of the scheme's control word *)
+  | Signal_frame  (** the saved PC inside a kernel signal frame *)
+  | Reload_window
+      (** the §5.2 store-to-reload TOCTOU: substitute a harvested
+          sibling control word while it sits on the stack *)
+
+val all_sites : site array
+val site_to_string : site -> string
+val site_of_string : string -> site option
+
+type spec = {
+  index : int;  (** fault index within the campaign *)
+  site : site;
+  trigger : float;
+      (** when to strike, as a fraction of the un-faulted run's retired
+          instructions (generic sites) *)
+  flip : int64;  (** xor corruption pattern, 1–3 set bits *)
+  round : int;  (** {!Reload_window}: selects the victim call path *)
+  pick : int;  (** {!Reload_window}: blind substitution choice *)
+}
+
+val derive : campaign_seed:int64 -> int -> spec
+(** [derive ~campaign_seed i] — deterministic, worker-count independent,
+    salted so it shares no stream with the fuzz driver at equal seeds. *)
+
+val rng : campaign_seed:int64 -> int -> Pacstack_util.Rng.t
+(** The fault's private generator (machine keys, blind picks): the
+    stream {!derive} consumed, re-derivable anywhere. *)
+
+val to_json : spec -> Pacstack_campaign.Json.t
+val pp : Format.formatter -> spec -> unit

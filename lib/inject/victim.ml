@@ -1,0 +1,109 @@
+(* Victim programs for fault injection.
+
+   [program] is the workhorse: [paths] sibling call paths into a shared
+   [mid -> inner -> probe] chain, driven round-robin from [main].  The
+   shape is exactly the on-graph geometry of the paper's §6.1 reuse
+   analysis, reproduced at machine level:
+
+   - every round r takes path (r mod paths), so each path's control
+     words (saved return addresses, shadow entries, spilled aret values)
+     appear on the stack at the *same addresses* once per cycle — a
+     harvesting adversary sees [paths] sibling values for each slot;
+   - the call depth at the [window] hook is main -> path_j -> mid ->
+     inner -> probe, so when the hook fires, every spill of the chain is
+     written but none is yet reloaded: the hook sits squarely inside the
+     §5.2 store-to-reload window;
+   - [probe] is deliberately non-leaf (it calls [id]) so that under
+     PACStack it spills the current chain head aret_inner — the value
+     whose full-word collisions decide whether the §6.1 substitution
+     authenticates;
+   - each path adds a distinct constant to the running sum, which is
+     printed every round: a diverted return flows through the sibling
+     path's tail and shifts every later printed value, so silent
+     corruption is visible to the trace oracle without any trap.
+
+   All paths have identical frame shapes (same locals, same spills), so
+   substituting one path's control words for another's is exactly the
+   frame-transplant the reuse attack performs. *)
+
+module Ast = Pacstack_minic.Ast
+module B = Pacstack_minic.Build
+
+let paths = 16
+let rounds = 2 * paths
+let window_hook = "window"
+let handler_name = "on_signal"
+
+let path_name j = Printf.sprintf "path_%d" j
+
+(* distinct per-path contribution, so a diverted return changes the sum *)
+let path_constant j = (j + 1) * 97
+
+let path_fn j =
+  Ast.fdef (path_name j) ~params:[ "k" ]
+    ~locals:[ Ast.Scalar "t" ]
+    B.[ set "t" (call "mid" [ v "k" + i j ]); ret (v "t" + i (path_constant j)) ]
+
+(* the if-chain dispatch gives every path its own call site in main,
+   hence its own return address and (under PACStack) its own aret *)
+let dispatch =
+  let rec chain j =
+    if j = paths - 1 then B.[ set "s" (v "s" + call (path_name j) [ v "r" ]) ]
+    else
+      [
+        B.if_
+          B.(v "j" == i j)
+          B.[ set "s" (v "s" + call (path_name j) [ v "r" ]) ]
+          (chain (j + 1));
+      ]
+  in
+  chain 0
+
+let program () =
+  Ast.program
+    ([
+       Ast.fdef "id" ~params:[ "x" ] B.[ ret (v "x") ];
+       Ast.fdef "probe" ~params:[ "k" ]
+         ~locals:[ Ast.Scalar "t" ]
+         (B.hook window_hook :: B.[ set "t" (call "id" [ v "k" ]); ret (v "t" + i 1) ]);
+       Ast.fdef "inner" ~params:[ "k" ]
+         ~locals:[ Ast.Scalar "t" ]
+         B.[ set "t" (call "probe" [ v "k" ]); ret (v "t" + i 2) ];
+       Ast.fdef "mid" ~params:[ "k" ]
+         ~locals:[ Ast.Scalar "t" ]
+         B.[ set "t" (call "inner" [ v "k" + i 5 ]); ret (v "t" + i 3) ];
+     ]
+    @ List.init paths path_fn
+    @ [
+        Ast.fdef "main"
+          ~locals:[ Ast.Scalar "s"; Ast.Scalar "j"; Ast.Scalar "r" ]
+          (B.[ set "s" (i 0); set "j" (i 0) ]
+          @ [
+              B.for_ "r" ~from:(B.i 0) ~below:(B.i rounds)
+                (dispatch
+                @ B.
+                    [
+                      print (v "s");
+                      set "j" (v "j" + i 1);
+                      if_ (v "j" == i paths) [ set "j" (i 0) ] [];
+                    ]);
+            ]
+          @ B.[ ret (v "s" land i 63) ]);
+      ])
+
+(* Victim for the kernel signal-frame site: a plain compute loop plus a
+   signal handler the kernel can deliver to at any trigger point. *)
+let signal_program () =
+  Ast.program
+    [
+      Ast.fdef "work" ~params:[ "k" ] B.[ ret ((v "k" * i 7) + i 1) ];
+      Ast.fdef handler_name B.[ print (i 911); ret0 ];
+      Ast.fdef "main"
+        ~locals:[ Ast.Scalar "s"; Ast.Scalar "r" ]
+        (B.[ set "s" (i 0) ]
+        @ [
+            B.for_ "r" ~from:(B.i 0) ~below:(B.i 24)
+              B.[ set "s" (v "s" + call "work" [ v "r" ]); print (v "s") ];
+          ]
+        @ B.[ ret (v "s" land i 63) ]);
+    ]

@@ -1,0 +1,27 @@
+(** Victim programs for fault injection. *)
+
+val paths : int
+(** Sibling call paths in {!program} — the width of the §6.1 on-graph
+    harvest. *)
+
+val rounds : int
+(** Main-loop iterations: one harvest cycle over every path, then one
+    strike cycle. *)
+
+val window_hook : string
+(** Name of the hook intrinsic that fires inside the store-to-reload
+    window at full call depth, once per round. *)
+
+val handler_name : string
+(** Signal-handler symbol of {!signal_program}. *)
+
+val path_name : int -> string
+val path_constant : int -> int
+
+val program : unit -> Pacstack_minic.Ast.program
+(** The [paths]-sibling collision victim (see the implementation header
+    for the exact geometry). Deterministic: no generator involved. *)
+
+val signal_program : unit -> Pacstack_minic.Ast.program
+(** Compute loop plus signal handler, for the kernel signal-frame
+    site. *)

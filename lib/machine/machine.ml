@@ -339,6 +339,23 @@ let run ?(fuel = 10_000_000) t =
   in
   go fuel
 
+(* Like [run], but stops short when [stop] becomes true — the stepping
+   primitive fault-injection uses to reach a trigger point mid-run
+   without re-implementing the halt/fault/fuel protocol. *)
+let run_until ?(fuel = 10_000_000) t ~stop =
+  let rec go budget =
+    match t.halted with
+    | Some code -> Some (Halted code)
+    | None ->
+      if stop t then None
+      else if budget = 0 then Some Out_of_fuel
+      else (
+        match step t with
+        | () -> go (budget - 1)
+        | exception Trap.Fault f -> Some (Faulted f))
+  in
+  go fuel
+
 let pp_state fmt t =
   Format.fprintf fmt "pc=%a sp=%a lr=%a cr=%a x0=%a cycles=%d" Word64.pp t.pc Word64.pp t.sp
     Word64.pp (get t Reg.lr) Word64.pp (get t Reg.cr) Word64.pp t.xregs.(0) t.cycles

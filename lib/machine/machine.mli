@@ -93,6 +93,14 @@ type outcome = Halted of int | Faulted of Trap.t | Out_of_fuel
 val run : ?fuel:int -> t -> outcome
 (** Steps until halt, fault or [fuel] instructions (default 10 million). *)
 
+val run_until : ?fuel:int -> t -> stop:(t -> bool) -> outcome option
+(** Like {!run}, but returns [None] as soon as [stop t] holds (checked
+    before each instruction, so the machine is paused with PC at the
+    next, not-yet-executed instruction); [Some outcome] if the program
+    halted, faulted or ran out of fuel first. Fault injection uses this
+    to reach a trigger point mid-run, mutate state, and continue with
+    {!run}. *)
+
 val pp_state : Format.formatter -> t -> unit
 (** One-line register dump for diagnostics. *)
 

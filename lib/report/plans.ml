@@ -5,6 +5,7 @@ module Scheme = Pacstack_harden.Scheme
 module Speclike = Pacstack_workloads.Speclike
 module Server = Pacstack_workloads.Server
 module Bruteforce = Pacstack_attacker.Bruteforce
+module Inject_engine = Pacstack_inject.Engine
 module Campaign = Pacstack_campaign.Campaign
 module Plan = Pacstack_campaign.Plan
 module Shard = Pacstack_campaign.Shard
@@ -157,7 +158,7 @@ let guessing_means ~plan outcome =
     (fun i (row, total) ->
       totals.(row) <- totals.(row) + total;
       trials.(row) <- trials.(row) + plan.Plan.shards.(i).Shard.trials)
-    outcome.Campaign.results;
+    (Campaign.results_exn outcome);
   Array.map2 (fun t n -> float_of_int t /. float_of_int (max 1 n)) totals trials
 
 let bruteforce_plan ?(scale = 1.0) ?(pac_bits = 6) ?(shards = 5) ~seed () =
@@ -261,6 +262,81 @@ let fuzz_stats_json (s : Fuzz_driver.stats) =
   match fuzz_codec.Checkpoint.encode s with
   | Json.Obj fields -> fields
   | other -> [ ("stats", other) ]
+
+(* --- fault injection ------------------------------------------------------ *)
+
+let inject_plan ?schemes ?(pac_bits = 4) ?tamper ?(faults = 120) ?(shards = 8) ~seed () =
+  let cfg =
+    {
+      Inject_engine.default_config with
+      pac_bits;
+      schemes = Option.value schemes ~default:Inject_engine.default_config.schemes;
+      tamper;
+    }
+  in
+  let shards = max 1 (min shards faults) in
+  let parts = Plan.split_trials ~trials:faults ~shards in
+  let ranges =
+    let lo = ref 0 in
+    Array.map
+      (fun part ->
+        let range = (!lo, !lo + part) in
+        lo := !lo + part;
+        range)
+      parts
+  in
+  Plan.make ~name:"inject" ~seed
+    ~shards:
+      (Array.map (fun (lo, hi) -> (Printf.sprintf "faults[%d,%d)" lo hi, hi - lo)) ranges)
+    ~run:(fun shard _rng ->
+      let lo, hi = ranges.(shard.Shard.index) in
+      Inject_engine.run_range cfg ~campaign_seed:seed ~first:lo ~count:(hi - lo))
+
+let inject_codec =
+  { Checkpoint.encode = Inject_engine.stats_to_json; decode = Inject_engine.stats_of_json }
+
+let inject_totals outcome =
+  Campaign.fold outcome ~init:Inject_engine.empty ~f:Inject_engine.merge
+
+let inject_stats_json (s : Inject_engine.stats) =
+  match Inject_engine.stats_to_json s with
+  | Json.Obj fields -> fields
+  | other -> [ ("stats", other) ]
+
+(* The detection-rate table: per scheme, how the campaign's faults
+   classified and how long detected corruption lived. *)
+let pp_inject_table fmt (s : Inject_engine.stats) =
+  Format.fprintf fmt "%-24s %9s %9s %9s %13s %13s@." "scheme" "detected" "benign" "silent"
+    "silent-rate" "mean-latency";
+  List.iter
+    (fun (name, (c : Inject_engine.cell)) ->
+      let total = c.Inject_engine.detected + c.Inject_engine.benign + c.Inject_engine.silent in
+      let rate =
+        if total = 0 then 0.0 else float_of_int c.Inject_engine.silent /. float_of_int total
+      in
+      let latency =
+        if c.Inject_engine.detected = 0 then "-"
+        else
+          Printf.sprintf "%.1f"
+            (float_of_int c.Inject_engine.latency_sum /. float_of_int c.Inject_engine.detected)
+      in
+      Format.fprintf fmt "%-24s %9d %9d %9d %13.3f %13s@." name c.Inject_engine.detected
+        c.Inject_engine.benign c.Inject_engine.silent rate latency)
+    s.Inject_engine.cells
+
+let quarantine_json (outcome : _ Campaign.outcome) =
+  ( "quarantined",
+    Json.List
+      (List.map
+         (fun (q : Campaign.quarantine) ->
+           Json.Obj
+             [
+               ("shard", Json.Int q.Campaign.shard);
+               ("label", Json.String q.Campaign.label);
+               ("attempts", Json.Int q.Campaign.attempts);
+               ("error", Json.String q.Campaign.error);
+             ])
+         outcome.Campaign.quarantined) )
 
 (* --- overhead sweeps ----------------------------------------------------- *)
 
@@ -531,7 +607,7 @@ let spec_entry =
           Campaign.run ~workers ~progress ?checkpoint:(with_checkpoint checkpoint spec_codec)
             plan
         in
-        let results = outcome.Campaign.results in
+        let results = Campaign.results_exn outcome in
         let baseline_of bench =
           let m =
             Array.to_list results
@@ -582,7 +658,7 @@ let server_entry =
           Campaign.run ~workers ~progress ?checkpoint:(with_checkpoint checkpoint server_codec)
             plan
         in
-        let results = outcome.Campaign.results in
+        let results = Campaign.results_exn outcome in
         let baseline_of workers =
           Array.to_list results
           |> List.find (fun (r : Server.result) ->
@@ -642,10 +718,36 @@ let fuzz_entry =
         Json.Obj (outcome_header outcome @ fuzz_stats_json totals));
   }
 
+let inject_entry =
+  {
+    name = "inject";
+    doc = "deterministic fault injection across the hardening schemes";
+    default_seed = 7L;
+    execute =
+      (fun ~workers ~seed ~checkpoint ~progress fmt ->
+        let plan = inject_plan ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress
+            ?checkpoint:(with_checkpoint checkpoint inject_codec) plan
+        in
+        let totals = inject_totals outcome in
+        pp_inject_table fmt totals;
+        (match outcome.Campaign.quarantined with
+        | [] -> ()
+        | qs ->
+          Format.fprintf fmt "quarantined shards:@.";
+          List.iter
+            (fun (q : Campaign.quarantine) ->
+              Format.fprintf fmt "  shard %d (%s) after %d attempts: %s@." q.Campaign.shard
+                q.Campaign.label q.Campaign.attempts q.Campaign.error)
+            qs);
+        Json.Obj (outcome_header outcome @ inject_stats_json totals @ [ quarantine_json outcome ]));
+  }
+
 let entries =
   [
     table1_entry; birthday_entry; guessing_entry; bruteforce_entry; spec_entry;
-    server_entry; fuzz_entry;
+    server_entry; fuzz_entry; inject_entry;
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) entries

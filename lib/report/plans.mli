@@ -94,6 +94,40 @@ val fuzz_stats_json : Pacstack_fuzz.Driver.stats -> (string * Json.t) list
 (** The merged statistics as JSON object fields (worker-count
     independent — no timing). *)
 
+(** {1 Fault injection} *)
+
+val inject_plan :
+  ?schemes:Pacstack_harden.Scheme.t list ->
+  ?pac_bits:int ->
+  ?tamper:(Pacstack_machine.Machine.t -> unit) ->
+  ?faults:int ->
+  ?shards:int ->
+  seed:int64 ->
+  unit ->
+  Pacstack_inject.Engine.stats Plan.t
+(** Deterministic fault injection: each shard runs a contiguous fault
+    range (default 120 faults over 8 shards) under the given schemes
+    (default all six) at [pac_bits] (default 4, so the 2^-b collision
+    events of the reuse analysis are observable). Fault [i] depends only
+    on the campaign seed and [i] — identical at any worker count.
+    [tamper] is the test-only planted-fault hook of
+    {!Pacstack_inject.Engine.config}. *)
+
+val inject_codec : Pacstack_inject.Engine.stats Checkpoint.codec
+
+val inject_totals :
+  Pacstack_inject.Engine.stats Campaign.outcome -> Pacstack_inject.Engine.stats
+(** Merge all shard statistics (quarantined shards contribute
+    nothing). *)
+
+val inject_stats_json : Pacstack_inject.Engine.stats -> (string * Json.t) list
+
+val pp_inject_table : Format.formatter -> Pacstack_inject.Engine.stats -> unit
+(** The per-scheme detection-rate table. *)
+
+val quarantine_json : _ Campaign.outcome -> string * Json.t
+(** The outcome's quarantined shards as a JSON field. *)
+
 (** {1 Overhead sweeps} *)
 
 val spec_plan : seed:int64 -> unit -> Pacstack_workloads.Speclike.measurement Plan.t

@@ -378,6 +378,22 @@ let confirm fmt =
       Format.fprintf fmt "@.")
     Confirm.all
 
+(* --- fault injection ---------------------------------------------------- *)
+
+let injection ?(seed = 7L) ?(workers = 1) ?(faults = 120) ?progress fmt =
+  section fmt "Fault injection: detection rate per scheme";
+  let plan = Plans.inject_plan ~faults ~seed () in
+  let outcome = Campaign.run ~workers ?progress plan in
+  let totals = Plans.inject_totals outcome in
+  Format.fprintf fmt "%d faults x %d schemes at pac_bits=4, seed %Ld@."
+    totals.Pacstack_inject.Engine.faults
+    (List.length totals.Pacstack_inject.Engine.cells)
+    seed;
+  Plans.pp_inject_table fmt totals;
+  match outcome.Campaign.quarantined with
+  | [] -> ()
+  | qs -> Format.fprintf fmt "quarantined shards: %d@." (List.length qs)
+
 let all ?(seed = 1L) ?(workers = 1) fmt =
   table1 ~seed ~workers fmt;
   table2_and_figure5 fmt;
@@ -392,4 +408,5 @@ let all ?(seed = 1L) ?(workers = 1) fmt =
   forward_cfi fmt;
   gadget_surface fmt;
   sp_collisions fmt;
+  injection ~workers fmt;
   confirm fmt

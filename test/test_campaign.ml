@@ -26,13 +26,33 @@ let test_pool_matches_sequential () =
   Alcotest.(check (array int)) "no tasks" [||] (Pool.run ~workers:4 ~tasks:0 f)
 
 let test_pool_propagates_exception () =
-  Alcotest.check_raises "failure crosses domains" (Failure "task 3") (fun () ->
-      ignore
-        (Pool.run ~workers:4 ~tasks:8 (fun i ->
-             if i = 3 then failwith "task 3" else i)))
+  (* the satellite fix: the re-raised failure carries the task index and
+     captured backtrace instead of arriving bare *)
+  match Pool.run ~workers:4 ~tasks:8 (fun i -> if i = 3 then failwith "task 3" else i) with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Pool.Task_failed { task; exn; backtrace = _ } ->
+    Alcotest.(check int) "failing task index attached" 3 task;
+    Alcotest.(check string) "original exception preserved" "Failure(\"task 3\")"
+      (Printexc.to_string exn)
+
+let test_pool_outcomes_keep_completed_work () =
+  let f i = if i mod 3 = 1 then failwith (Printf.sprintf "task %d" i) else i * 7 in
+  let check outcomes =
+    Array.iteri
+      (fun i o ->
+        match (o, i mod 3 = 1) with
+        | Pool.Ok r, false -> Alcotest.(check int) "completed result kept" (i * 7) r
+        | Pool.Crashed (Failure _, _), true -> ()
+        | Pool.Ok _, true -> Alcotest.failf "task %d should have crashed" i
+        | Pool.Crashed _, _ -> Alcotest.failf "task %d should have completed" i)
+      outcomes
+  in
+  check (Pool.run_outcomes ~workers:1 ~tasks:10 f);
+  check (Pool.run_outcomes ~workers:4 ~tasks:10 f)
 
 let test_pool_rejects_bad_args () =
-  Alcotest.check_raises "workers < 1" (Invalid_argument "Pool.run: workers < 1") (fun () ->
+  Alcotest.check_raises "workers < 1"
+    (Invalid_argument "Pool.run_outcomes: workers < 1") (fun () ->
       ignore (Pool.run ~workers:0 ~tasks:1 (fun i -> i)))
 
 (* --- Json --------------------------------------------------------------- *)
@@ -115,8 +135,8 @@ let test_table1_workers_identical () =
   (* and per-shard, not only per-cell *)
   Alcotest.(check (array (pair int int)))
     "per-shard results identical"
-    (Array.map (fun (c, (e : Games.estimate)) -> (c, e.Games.successes)) sequential.Campaign.results)
-    (Array.map (fun (c, (e : Games.estimate)) -> (c, e.Games.successes)) parallel.Campaign.results)
+    (Array.map (fun (c, (e : Games.estimate)) -> (c, e.Games.successes)) (Campaign.results_exn sequential))
+    (Array.map (fun (c, (e : Games.estimate)) -> (c, e.Games.successes)) (Campaign.results_exn parallel))
 
 let with_temp_checkpoint f =
   let path = Filename.temp_file "pacstack_campaign" ".ck" in
@@ -152,7 +172,7 @@ let test_resume_skips_completed_work () =
       Alcotest.(check int) "second run restores every shard"
         (Plan.shard_count (plan ()))
         again.Campaign.resumed;
-      Alcotest.(check (array int)) "results identical" first.Campaign.results again.Campaign.results)
+      Alcotest.(check (array int)) "results identical" (Campaign.results_exn first) (Campaign.results_exn again))
 
 let contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in
@@ -176,8 +196,158 @@ let test_checkpoint_ignores_torn_line () =
       Out_channel.with_open_gen [ Open_append ] 0o644 path (fun oc ->
           Out_channel.output_string oc "{\"shard\":2,\"resu");
       let resumed = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
-      Alcotest.(check (array int)) "torn line ignored, results identical" full.Campaign.results
-        resumed.Campaign.results)
+      Alcotest.(check (array int)) "torn line ignored, results identical" (Campaign.results_exn full)
+        (Campaign.results_exn resumed))
+
+(* --- Crash tolerance: retry, quarantine, watchdog (ISSUE 3) -------------- *)
+
+module Watchdog = Pacstack_campaign.Watchdog
+
+(* A tiny synthetic plan whose shard results are pure functions of the
+   shard rng, with a hook to make chosen shards fail. *)
+let synthetic_plan ?(shards = 6) ~seed ~fail () =
+  Plan.make ~name:"synthetic" ~seed
+    ~shards:(Array.init shards (fun i -> (Printf.sprintf "syn#%d" i, 3)))
+    ~run:(fun shard rng ->
+      fail shard;
+      Int64.to_int (Int64.logand (Rng.next64 rng) 0xffffL) + shard.Shard.index)
+
+let no_backoff = { Campaign.default_policy with backoff_s = (fun _ -> 0.) }
+
+let test_quarantine_isolates_failing_shard () =
+  let fail (s : Shard.t) = if s.Shard.index = 2 then failwith "shard 2 is cursed" in
+  let reference =
+    Campaign.run (synthetic_plan ~seed:11L ~fail:(fun _ -> ()) ())
+  in
+  with_temp_checkpoint (fun path ->
+      let outcome =
+        Campaign.run ~workers:4 ~policy:no_backoff
+          ~checkpoint:(path, { Checkpoint.encode = (fun r -> Json.Int r);
+                               decode = Json.to_int })
+          (synthetic_plan ~seed:11L ~fail ())
+      in
+      (match outcome.Campaign.quarantined with
+      | [ q ] ->
+        Alcotest.(check int) "quarantined shard index" 2 q.Campaign.shard;
+        Alcotest.(check int) "attempts = 1 + retries" 3 q.Campaign.attempts;
+        Alcotest.(check bool) "error preserved" true
+          (contains q.Campaign.error "shard 2 is cursed")
+      | qs -> Alcotest.failf "expected exactly one quarantine, got %d" (List.length qs));
+      Alcotest.(check (option int)) "failed shard has no result" None outcome.Campaign.results.(2);
+      (* every healthy shard's result is present, correct and checkpointed *)
+      Array.iteri
+        (fun i r -> if i <> 2 then
+            Alcotest.(check (option int)) "healthy shard result intact" r outcome.Campaign.results.(i))
+        reference.Campaign.results;
+      Alcotest.check_raises "results_exn reports the quarantine"
+        (Failure
+           "Campaign synthetic: 1 shard(s) quarantined: shard 2 (syn#2): Failure(\"shard 2 is cursed\")")
+        (fun () -> ignore (Campaign.results_exn outcome));
+      (* the manifest records the quarantine and restores only the healthy
+         shards on resume; the cursed shard is re-run (and fails again) *)
+      let manifest = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check bool) "manifest records quarantine" true
+        (List.exists (fun l -> contains l "\"quarantined\":true") manifest);
+      let resumed =
+        Campaign.run ~policy:no_backoff
+          ~checkpoint:(path, { Checkpoint.encode = (fun r -> Json.Int r);
+                               decode = Json.to_int })
+          (synthetic_plan ~seed:11L ~fail ())
+      in
+      Alcotest.(check int) "healthy shards restored, cursed shard retried" 5
+        resumed.Campaign.resumed;
+      Alcotest.(check int) "still quarantined on resume" 1
+        (List.length resumed.Campaign.quarantined))
+
+let test_transient_failure_is_retried () =
+  (* fails on its first attempt only: with one retry the campaign result
+     must equal the untroubled run's, with no quarantine *)
+  let tries = ref 0 in
+  let fail (s : Shard.t) =
+    if s.Shard.index = 1 then begin
+      incr tries;
+      if !tries = 1 then failwith "transient"
+    end
+  in
+  let retried = ref 0 in
+  let sink = function Progress.Shard_retried _ -> incr retried | _ -> () in
+  let outcome =
+    Campaign.run ~policy:no_backoff ~progress:sink (synthetic_plan ~seed:12L ~fail ())
+  in
+  let reference = Campaign.run (synthetic_plan ~seed:12L ~fail:(fun _ -> ()) ()) in
+  Alcotest.(check int) "exactly one retry" 1 !retried;
+  Alcotest.(check int) "no quarantine" 0 (List.length outcome.Campaign.quarantined);
+  Alcotest.(check (array (option int))) "retried run = untroubled run"
+    reference.Campaign.results outcome.Campaign.results
+
+let test_watchdog_budget () =
+  Alcotest.(check (option int)) "no budget outside with_budget" None (Watchdog.remaining ());
+  Watchdog.tick ~cost:1000 () (* free when uninstalled *);
+  let r =
+    Watchdog.with_budget 5 (fun () ->
+        Watchdog.tick ~cost:3 ();
+        Watchdog.with_budget 10 (fun () -> Watchdog.tick ~cost:9 ());
+        (* inner budget restored to outer *)
+        Alcotest.(check (option int)) "outer budget restored" (Some 2) (Watchdog.remaining ());
+        17)
+  in
+  Alcotest.(check int) "body result" 17 r;
+  Alcotest.check_raises "exhaustion raises" (Watchdog.Exhausted { budget = 4 }) (fun () ->
+      Watchdog.with_budget 4 (fun () -> Watchdog.tick ~cost:5 ()))
+
+let test_watchdog_quarantines_runaway_shard () =
+  (* shard 3 "hangs": it ticks far beyond the policy budget *)
+  let fail (s : Shard.t) =
+    if s.Shard.index = 3 then
+      for _ = 1 to 1000 do
+        Watchdog.tick ()
+      done
+    else Watchdog.tick ~cost:2 ()
+  in
+  let policy = { no_backoff with Campaign.shard_fuel = Some 100; retries = 1 } in
+  let outcome = Campaign.run ~workers:2 ~policy (synthetic_plan ~seed:13L ~fail ()) in
+  match outcome.Campaign.quarantined with
+  | [ q ] ->
+    Alcotest.(check int) "runaway shard quarantined" 3 q.Campaign.shard;
+    Alcotest.(check bool) "cause is watchdog exhaustion" true
+      (contains q.Campaign.error "Exhausted");
+    Alcotest.(check int) "other shards unharmed" 5
+      (Array.fold_left (fun n r -> if r = None then n else n + 1) 0 outcome.Campaign.results)
+  | qs -> Alcotest.failf "expected exactly one quarantine, got %d" (List.length qs)
+
+let test_fail_fast_policy_aborts () =
+  let fail (s : Shard.t) = if s.Shard.index = 4 then failwith "fatal" in
+  let policy = { Campaign.default_policy with fail_fast = true } in
+  match Campaign.run ~policy (synthetic_plan ~seed:14L ~fail ()) with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Pool.Task_failed { task; exn; _ } ->
+    Alcotest.(check int) "task index attached" 4 task;
+    Alcotest.(check bool) "exception preserved" true
+      (Printexc.to_string exn |> fun s -> contains s "fatal")
+
+(* Satellite: a manifest with both a torn trailing line and a corrupted
+   interior line restores exactly the intact shards and recomputes the
+   rest bit-identically. *)
+let test_checkpoint_survives_interior_corruption () =
+  let plan () = Plans.birthday_plan ~scale:0.05 ~seed:8L () in
+  with_temp_checkpoint (fun path ->
+      let full = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
+      let shards = Plan.shard_count (plan ()) in
+      Alcotest.(check int) "fresh run resumes nothing" 0 full.Campaign.resumed;
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      (* corrupt the 3rd record in place (bit rot), keep the rest, and
+         append a torn line (crash mid-write) *)
+      let mangled =
+        List.mapi (fun i l -> if i = 3 then String.map (fun _ -> '#') l else l) lines
+      in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) mangled;
+          Out_channel.output_string oc "{\"shard\":5,\"resu");
+      let resumed = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (plan ()) in
+      Alcotest.(check int) "all but the corrupted shard restored" (shards - 1)
+        resumed.Campaign.resumed;
+      Alcotest.(check (array int)) "re-run bit-identical" (Campaign.results_exn full)
+        (Campaign.results_exn resumed))
 
 let test_progress_events_cover_campaign () =
   let events = ref [] in
@@ -208,6 +378,8 @@ let () =
         [
           Alcotest.test_case "matches sequential" `Quick test_pool_matches_sequential;
           Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "outcomes keep completed work" `Quick
+            test_pool_outcomes_keep_completed_work;
           Alcotest.test_case "rejects bad args" `Quick test_pool_rejects_bad_args;
         ] );
       ( "json",
@@ -228,6 +400,18 @@ let () =
           Alcotest.test_case "resume skips completed shards" `Quick test_resume_skips_completed_work;
           Alcotest.test_case "foreign manifest rejected" `Quick test_checkpoint_rejects_foreign_manifest;
           Alcotest.test_case "torn manifest line ignored" `Quick test_checkpoint_ignores_torn_line;
+          Alcotest.test_case "interior corruption recovered" `Quick
+            test_checkpoint_survives_interior_corruption;
+        ] );
+      ( "crash tolerance",
+        [
+          Alcotest.test_case "quarantine isolates failing shard" `Quick
+            test_quarantine_isolates_failing_shard;
+          Alcotest.test_case "transient failure retried" `Quick test_transient_failure_is_retried;
+          Alcotest.test_case "watchdog budget" `Quick test_watchdog_budget;
+          Alcotest.test_case "watchdog quarantines runaway shard" `Quick
+            test_watchdog_quarantines_runaway_shard;
+          Alcotest.test_case "fail-fast policy aborts" `Quick test_fail_fast_policy_aborts;
         ] );
       ( "progress",
         [ Alcotest.test_case "event trace" `Quick test_progress_events_cover_campaign ] );

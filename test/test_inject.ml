@@ -1,0 +1,321 @@
+(* Tests for lib/inject: deterministic fault derivation, engine
+   classification (including the paper's reload-window asymmetry between
+   the masked and unmasked PACStack variants), the campaign wiring, and
+   the exact trap paths of corrupted returns. *)
+
+module Rng = Pacstack_util.Rng
+module Config = Pacstack_pa.Config
+module Reg = Pacstack_isa.Reg
+module Instr = Pacstack_isa.Instr
+module Scheme = Pacstack_harden.Scheme
+module Machine = Pacstack_machine.Machine
+module Memory = Pacstack_machine.Memory
+module Image = Pacstack_machine.Image
+module Trap = Pacstack_machine.Trap
+module Compile = Pacstack_minic.Compile
+module Fault = Pacstack_inject.Fault
+module Victim = Pacstack_inject.Victim
+module Engine = Pacstack_inject.Engine
+module Campaign = Pacstack_campaign.Campaign
+module Plans = Pacstack_report.Plans
+
+let temp_manifest () = Filename.temp_file "pacstack_inject" ".ck"
+
+let classification = Alcotest.testable
+    (fun fmt c -> Format.pp_print_string fmt (Engine.classification_to_string c))
+    (fun a b ->
+      match (a, b) with
+      | Engine.Detected _, Engine.Detected _ -> true
+      | Engine.Benign, Engine.Benign | Engine.Silent, Engine.Silent -> true
+      | _ -> false)
+
+let first_site_index ~campaign_seed site =
+  let rec go i =
+    if i > 1000 then Alcotest.failf "no %s fault in 1000 indices" (Fault.site_to_string site)
+    else if (Fault.derive ~campaign_seed i).Fault.site = site then i
+    else go (i + 1)
+  in
+  go 0
+
+(* --- fault derivation ----------------------------------------------------- *)
+
+let test_derive_deterministic () =
+  for i = 0 to 31 do
+    let a = Fault.derive ~campaign_seed:9L i in
+    let b = Fault.derive ~campaign_seed:9L i in
+    Alcotest.(check bool) "specs equal" true (a = b);
+    Alcotest.(check int) "index recorded" i a.Fault.index;
+    Alcotest.(check bool) "trigger in (0,1)" true (a.Fault.trigger > 0. && a.Fault.trigger < 1.);
+    Alcotest.(check bool) "flip nonzero" true (a.Fault.flip <> 0L)
+  done;
+  (* different seeds and indices give different streams *)
+  Alcotest.(check bool) "seed matters" true
+    (List.init 16 (Fault.derive ~campaign_seed:9L) <> List.init 16 (Fault.derive ~campaign_seed:10L))
+
+let test_site_string_roundtrip () =
+  Array.iter
+    (fun site ->
+      Alcotest.(check bool) "roundtrip" true
+        (Fault.site_of_string (Fault.site_to_string site) = Some site))
+    Fault.all_sites;
+  Alcotest.(check bool) "unknown rejected" true (Fault.site_of_string "nonsense" = None)
+
+(* --- engine classification ------------------------------------------------ *)
+
+let test_run_fault_deterministic () =
+  let cfg = Engine.default_config in
+  for i = 0 to 5 do
+    let a = Engine.run_fault cfg ~campaign_seed:3L i in
+    let b = Engine.run_fault cfg ~campaign_seed:3L i in
+    List.iter2
+      (fun (x : Engine.result) (y : Engine.result) ->
+        Alcotest.check classification
+          (Printf.sprintf "fault %d under %s" i (Scheme.to_string x.Engine.scheme))
+          x.Engine.classification y.Engine.classification)
+      a b
+  done
+
+(* The §5.2/§6.1 headline: the same reload-window substitution is silent
+   under the unmasked variant (the adversary collision-matches harvested
+   aret values at the observable pac_bits = 4) but is caught — or lands
+   benign — under the masked variant, where the spilled tokens are
+   opaque and the pick succeeds only with probability 2^-b. *)
+let test_window_masked_vs_unmasked () =
+  let seed = 42L in
+  let idx = first_site_index ~campaign_seed:seed Fault.Reload_window in
+  let cfg = { Engine.default_config with Engine.schemes = [ Scheme.pacstack_nomask; Scheme.pacstack ] } in
+  match Engine.run_fault cfg ~campaign_seed:seed idx with
+  | [ nomask; masked ] ->
+    Alcotest.check classification "unmasked pacstack: silent corruption" Engine.Silent
+      nomask.Engine.classification;
+    Alcotest.(check bool) "masked pacstack: detected or benign" true
+      (match masked.Engine.classification with
+      | Engine.Detected _ | Engine.Benign -> true
+      | Engine.Silent -> false)
+  | _ -> Alcotest.fail "expected two results"
+
+(* The same window fault is silent under every non-authenticating
+   scheme: the harvested control words are valid for reuse. *)
+let test_window_silent_without_authentication () =
+  let seed = 42L in
+  let idx = first_site_index ~campaign_seed:seed Fault.Reload_window in
+  let cfg =
+    {
+      Engine.default_config with
+      Engine.schemes = [ Scheme.Unprotected; Scheme.Branch_protection; Scheme.Shadow_stack ];
+    }
+  in
+  List.iter
+    (fun (r : Engine.result) ->
+      Alcotest.check classification
+        (Scheme.to_string r.Engine.scheme ^ ": window reuse is silent")
+        Engine.Silent r.Engine.classification)
+    (Engine.run_fault cfg ~campaign_seed:seed idx)
+
+(* Signal-frame forgery: killed by the Appendix B chain under PACStack,
+   never detected as such under an unprotected kernel. *)
+let test_signal_frame_chained_vs_unprotected () =
+  let seed = 42L in
+  let idx = first_site_index ~campaign_seed:seed Fault.Signal_frame in
+  let cfg =
+    { Engine.default_config with Engine.schemes = [ Scheme.Unprotected; Scheme.pacstack ] }
+  in
+  match Engine.run_fault cfg ~campaign_seed:seed idx with
+  | [ unprotected; pacstack ] ->
+    Alcotest.(check bool) "unprotected kernel never reports sigreturn-kill" true
+      (match unprotected.Engine.classification with
+      | Engine.Detected { cause; _ } -> cause <> "sigreturn-kill"
+      | Engine.Benign | Engine.Silent -> true);
+    Alcotest.(check bool) "pacstack kernel kills the forged frame" true
+      (match pacstack.Engine.classification with
+      | Engine.Detected { cause; _ } -> cause = "sigreturn-kill"
+      | Engine.Benign | Engine.Silent -> false)
+  | _ -> Alcotest.fail "expected two results"
+
+(* --- trap paths of corrupted returns -------------------------------------- *)
+
+(* Run the victim with one corruption applied at the first window-hook
+   firing, tracing every instruction so the faulting one is known
+   exactly. Returns (outcome, last traced instruction). *)
+let run_corrupted ~scheme ~corrupt =
+  let compiled = Compile.compile ~scheme (Victim.program ()) in
+  let m = Machine.load ~cfg:(Config.make ~pac_bits:4 ()) compiled in
+  let fired = ref false in
+  Machine.attach_hook m Victim.window_hook (fun hm ->
+      if not !fired then begin
+        fired := true;
+        corrupt hm
+      end);
+  let last = ref None in
+  Machine.set_tracer m (Some (fun _ instr -> last := Some instr));
+  let outcome = Machine.run m in
+  (outcome, !last)
+
+let xor_mem m addr pattern =
+  let mem = Machine.memory m in
+  Memory.store64 mem addr (Int64.logxor (Memory.load64 mem addr) pattern)
+
+let is_ret = function Some (Instr.Ret _) -> true | _ -> false
+
+(* PACStack: corrupting the spilled chain value changes the [autia]
+   modifier in the epilogue that reloads it; the authenticated LR comes
+   out non-canonical and the subsequent [ret] raises a translation
+   fault on the instruction fetch.  (The other trap variants are not
+   reachable from a corrupted aret: the error bit makes the pointer
+   non-canonical before any mapping or permission question arises, and
+   returns are not subject to the forward-edge CFI check, so
+   [Cfi_violation] and [Undefined] cannot fire on this path.) *)
+let test_pacstack_chain_corruption_trap () =
+  List.iter
+    (fun scheme ->
+      let outcome, last =
+        run_corrupted ~scheme ~corrupt:(fun hm ->
+            xor_mem hm (Int64.sub (Machine.get hm Reg.fp) 16L) 4L)
+      in
+      (match outcome with
+      | Machine.Faulted (Trap.Translation (addr, Trap.Execute)) ->
+        Alcotest.(check bool) "faulting address is non-canonical" true
+          (Int64.logand addr Int64.min_int <> 0L || Int64.shift_right_logical addr 55 <> 0L)
+      | other ->
+        Alcotest.failf "%s: expected translation fault, got %s" (Scheme.to_string scheme)
+          (match other with
+          | Machine.Faulted t -> Trap.to_string t
+          | Machine.Halted c -> Printf.sprintf "exit %d" c
+          | Machine.Out_of_fuel -> "out of fuel"));
+      Alcotest.(check bool) "trap raised at the ret" true (is_ret last))
+    [ Scheme.pacstack; Scheme.pacstack_nomask ]
+
+(* Shadow stack: the shadow value is authoritative on return, so a
+   corrupted top entry redirects the [ret].  A flip into unmapped space
+   raises [Unmapped]; pointing the entry at a mapped rw data object
+   raises [Permission] (execute of non-executable memory). *)
+let test_shadow_corruption_traps () =
+  let top hm = Int64.sub (Machine.get hm Reg.shadow) 8L in
+  let outcome, last =
+    run_corrupted ~scheme:Scheme.Shadow_stack ~corrupt:(fun hm ->
+        xor_mem hm (top hm) (Int64.shift_left 1L 30))
+  in
+  (match outcome with
+  | Machine.Faulted (Trap.Unmapped (_, Trap.Execute)) -> ()
+  | other ->
+    Alcotest.failf "expected unmapped fault, got %s"
+      (match other with
+      | Machine.Faulted t -> Trap.to_string t
+      | Machine.Halted c -> Printf.sprintf "exit %d" c
+      | Machine.Out_of_fuel -> "out of fuel"));
+  Alcotest.(check bool) "unmapped trap at the ret" true (is_ret last);
+  let outcome, last =
+    run_corrupted ~scheme:Scheme.Shadow_stack ~corrupt:(fun hm ->
+        let guard = Option.get (Image.symbol (Machine.image hm) Machine.canary_symbol) in
+        Memory.store64 (Machine.memory hm) (top hm) guard)
+  in
+  (match outcome with
+  | Machine.Faulted (Trap.Permission (_, Trap.Execute)) -> ()
+  | other ->
+    Alcotest.failf "expected permission fault, got %s"
+      (match other with
+      | Machine.Faulted t -> Trap.to_string t
+      | Machine.Halted c -> Printf.sprintf "exit %d" c
+      | Machine.Out_of_fuel -> "out of fuel"));
+  Alcotest.(check bool) "permission trap at the ret" true (is_ret last)
+
+(* --- campaign wiring ------------------------------------------------------ *)
+
+let stats_equal (a : Engine.stats) (b : Engine.stats) = a = b
+
+let test_campaign_worker_independence () =
+  let plan () = Plans.inject_plan ~faults:10 ~shards:4 ~seed:5L () in
+  let t1 = Plans.inject_totals (Campaign.run ~workers:1 (plan ())) in
+  let t4 = Plans.inject_totals (Campaign.run ~workers:4 (plan ())) in
+  Alcotest.(check bool) "1 worker = 4 workers" true (stats_equal t1 t4);
+  Alcotest.(check int) "all faults ran" 10 t1.Engine.faults
+
+let test_campaign_resume_identical () =
+  let path = temp_manifest () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let plan () = Plans.inject_plan ~faults:8 ~shards:4 ~seed:5L () in
+      let run () =
+        Plans.inject_totals
+          (Campaign.run ~workers:1 ~checkpoint:(path, Plans.inject_codec) (plan ()))
+      in
+      let first = run () in
+      let resumed_outcome =
+        Campaign.run ~workers:1 ~checkpoint:(path, Plans.inject_codec) (plan ())
+      in
+      Alcotest.(check int) "all shards restored" 4 resumed_outcome.Campaign.resumed;
+      Alcotest.(check bool) "resume = uninterrupted" true
+        (stats_equal first (Plans.inject_totals resumed_outcome)))
+
+(* A planted always-silent fault (the test-only tamper hook corrupts
+   observable output without touching any control word) must surface as
+   silent corruption under every scheme — this is what the CLI gate and
+   the CI campaign would catch with exit 1. *)
+let test_planted_tamper_is_caught () =
+  let tamper m = Machine.push_output m 999L in
+  let faults = 4 in
+  let outcome =
+    Campaign.run ~workers:1
+      (Plans.inject_plan ~schemes:[ Scheme.pacstack ] ~tamper ~faults ~shards:2 ~seed:5L ())
+  in
+  let totals = Plans.inject_totals outcome in
+  let cell = List.assoc (Scheme.to_string Scheme.pacstack) totals.Engine.cells in
+  Alcotest.(check int) "every planted fault is silent" faults cell.Engine.silent;
+  Alcotest.(check int) "gate finds reproducers" faults (List.length totals.Engine.silents)
+
+(* --- statistics ----------------------------------------------------------- *)
+
+let test_stats_json_roundtrip () =
+  let stats = Engine.run_range Engine.default_config ~campaign_seed:7L ~first:0 ~count:6 in
+  match Engine.stats_of_json (Engine.stats_to_json stats) with
+  | None -> Alcotest.fail "stats did not parse back"
+  | Some parsed -> Alcotest.(check bool) "roundtrip" true (stats_equal stats parsed)
+
+let test_stats_merge_order_independent () =
+  let cfg = Engine.default_config in
+  let a = Engine.run_range cfg ~campaign_seed:7L ~first:0 ~count:3 in
+  let b = Engine.run_range cfg ~campaign_seed:7L ~first:3 ~count:3 in
+  let c = Engine.run_range cfg ~campaign_seed:7L ~first:6 ~count:3 in
+  let left = Engine.merge (Engine.merge a b) c in
+  let right = Engine.merge a (Engine.merge b c) in
+  let swapped = Engine.merge (Engine.merge c b) a in
+  Alcotest.(check bool) "associative" true (stats_equal left right);
+  Alcotest.(check bool) "commutative" true (stats_equal left swapped);
+  Alcotest.(check int) "all faults counted" 9 left.Engine.faults
+
+let () =
+  Alcotest.run "inject"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "derivation deterministic" `Quick test_derive_deterministic;
+          Alcotest.test_case "site strings roundtrip" `Quick test_site_string_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "run_fault deterministic" `Quick test_run_fault_deterministic;
+          Alcotest.test_case "window: masked vs unmasked" `Quick test_window_masked_vs_unmasked;
+          Alcotest.test_case "window: silent without authentication" `Quick
+            test_window_silent_without_authentication;
+          Alcotest.test_case "signal frame: chained vs unprotected" `Quick
+            test_signal_frame_chained_vs_unprotected;
+        ] );
+      ( "traps",
+        [
+          Alcotest.test_case "pacstack chain corruption" `Quick
+            test_pacstack_chain_corruption_trap;
+          Alcotest.test_case "shadow slot corruption" `Quick test_shadow_corruption_traps;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "worker independence" `Quick test_campaign_worker_independence;
+          Alcotest.test_case "resume identical" `Quick test_campaign_resume_identical;
+          Alcotest.test_case "planted tamper caught" `Quick test_planted_tamper_is_caught;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_stats_json_roundtrip;
+          Alcotest.test_case "merge order independent" `Quick test_stats_merge_order_independent;
+        ] );
+    ]
