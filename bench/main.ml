@@ -1,7 +1,15 @@
 (* The benchmark harness: regenerates every table and figure of the
-   paper's evaluation (via Pacstack_report) and then runs one Bechamel
-   micro-benchmark per table/figure plus primitive micro-benchmarks, so
-   the cost of each reproduction kernel is itself measured. *)
+   paper's evaluation (via Pacstack_report), runs one Bechamel
+   micro-benchmark per table/figure plus primitive micro-benchmarks, and
+   measures the hot-path sections (MAC, machine step, loader, fuzz and
+   injection throughput) that BENCH_04.json records.
+
+   Modes:
+     bench                 full run: report + bechamel + sections + scaling
+     bench --quick         hot-path sections only (the CI perf-smoke job)
+     bench --json          also write the sections to BENCH_04.json
+     bench --out FILE      like --json, to FILE
+     bench --gate          check the generous throughput floors; exit 1 on miss *)
 
 open Bechamel
 open Toolkit
@@ -13,6 +21,9 @@ module Games = Pacstack_acs.Games
 module Analysis = Pacstack_acs.Analysis
 module Machine = Pacstack_machine.Machine
 module Compile = Pacstack_minic.Compile
+module Json = Pacstack_campaign.Json
+module Qarma64 = Pacstack_qarma.Qarma64
+module Prf = Pacstack_qarma.Prf
 
 let ( .%[] ) tbl key = Hashtbl.find tbl key
 
@@ -46,18 +57,16 @@ let test_table3 =
 
 (* --- primitive micro-benchmarks ---------------------------------------- *)
 
-let qarma_prf =
-  Pacstack_qarma.Prf.create (Pacstack_qarma.Qarma64.random_key (Rng.create 5L))
-
-let fast_prf = Pacstack_qarma.Prf.create_fast 0x1234L
+let qarma_prf = Prf.create (Qarma64.random_key (Rng.create 5L))
+let fast_prf = Prf.create_fast 0x1234L
 
 let test_qarma =
   Test.make ~name:"qarma64_mac"
-    (Staged.stage (fun () -> Pacstack_qarma.Prf.mac64 qarma_prf ~data:42L ~modifier:7L))
+    (Staged.stage (fun () -> Prf.mac64 qarma_prf ~data:42L ~modifier:7L))
 
 let test_fast_mac =
   Test.make ~name:"fast_mac"
-    (Staged.stage (fun () -> Pacstack_qarma.Prf.mac64 fast_prf ~data:42L ~modifier:7L))
+    (Staged.stage (fun () -> Prf.mac64 fast_prf ~data:42L ~modifier:7L))
 
 module Campaign = Pacstack_campaign.Campaign
 module Pool = Pacstack_campaign.Pool
@@ -72,28 +81,28 @@ let test_campaign_birthday =
   Test.make ~name:"campaign_birthday_seq"
     (Staged.stage (fun () -> Campaign.run (Plans.birthday_plan ~scale:0.1 ~seed:7L ())))
 
-let fib_machine =
-  let program =
-    Pacstack_minic.(
-      Compile.compile ~scheme:Scheme.pacstack
-        (Ast.program
-           [
-             Ast.fdef "fib" ~params:[ "n" ] ~locals:[ Ast.Scalar "a"; Ast.Scalar "b" ]
-               Build.
-                 [
-                   if_ (v "n" <= i 1) [ ret (v "n") ] [];
-                   set "a" (call "fib" [ v "n" - i 1 ]);
-                   set "b" (call "fib" [ v "n" - i 2 ]);
-                   ret (v "a" + v "b");
-                 ];
-             Ast.fdef "main" ~locals:[ Ast.Scalar "r" ]
-               Build.[ set "r" (call "fib" [ i 10 ]); ret (i 0) ];
-           ]))
-  in
-  fun () -> Machine.run ~fuel:100_000 (Machine.load program)
+let fib_program n =
+  Pacstack_minic.(
+    Compile.compile ~scheme:Scheme.pacstack
+      (Ast.program
+         [
+           Ast.fdef "fib" ~params:[ "n" ] ~locals:[ Ast.Scalar "a"; Ast.Scalar "b" ]
+             Build.
+               [
+                 if_ (v "n" <= i 1) [ ret (v "n") ] [];
+                 set "a" (call "fib" [ v "n" - i 1 ]);
+                 set "b" (call "fib" [ v "n" - i 2 ]);
+                 ret (v "a" + v "b");
+               ];
+           Ast.fdef "main" ~locals:[ Ast.Scalar "r" ]
+             Build.[ set "r" (call "fib" [ i n ]); ret (i 0) ];
+         ]))
+
+let fib10 = fib_program 10
 
 let test_machine =
-  Test.make ~name:"machine_fib10_pacstack" (Staged.stage fib_machine)
+  Test.make ~name:"machine_fib10_pacstack"
+    (Staged.stage (fun () -> Machine.run ~fuel:100_000 (Machine.load fib10)))
 
 module Fuzz_driver = Pacstack_fuzz.Driver
 module Fuzz_oracle = Pacstack_fuzz.Oracle
@@ -109,6 +118,168 @@ let tests =
   Test.make_grouped ~name:"pacstack"
     [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac;
       test_machine; test_pool_dispatch; test_campaign_birthday; test_fuzz_seed ]
+
+(* --- hot-path sections: the BENCH_04.json payload ------------------------ *)
+
+type section = {
+  sname : string;
+  ns_per_op : float;
+  ops_per_sec : float;
+  before_ns : float option;   (* ns/op of the slow path this replaced *)
+  before_src : string option; (* where the "before" number comes from *)
+}
+
+let speedup s = Option.map (fun b -> b /. s.ns_per_op) s.before_ns
+
+let section ?before ?src sname ns =
+  { sname; ns_per_op = ns; ops_per_sec = 1e9 /. ns; before_ns = before; before_src = src }
+
+let time_per_op ~iters f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+(* ns/op of the same operations at the seed commit, measured on the
+   development host that produced the "after" numbers in DESIGN.md's
+   performance table. The reference-QARMA "before" is re-measured in every
+   run (the oracle is kept in-tree); the others contextualise cross-machine
+   runs — the gates below use absolute floors with large headroom instead
+   of these. *)
+let seed_src = "seed commit, recorded"
+let seed_machine_step_ns = 138.1
+let seed_machine_load_ns = 285_236.
+let seed_fuzz_ns = 1e9 /. 70.0
+let seed_inject_ns = 1e9 /. 61.1
+
+let perf_sections () =
+  Format.printf "@.measuring hot-path sections...@.";
+  let key = Qarma64.key ~w0:0x0123456789abcdefL ~k0:0xfedcba9876543210L in
+  let prf = Prf.create key in
+  let ref_ns =
+    time_per_op ~iters:3_000 (fun () -> Qarma64.Reference.encrypt key ~tweak:7L 42L)
+  in
+  let fast_ns = time_per_op ~iters:200_000 (fun () -> Prf.mac64 prf ~data:42L ~modifier:7L) in
+  (* machine interpreter: a pacstack-instrumented recursive fib(15) *)
+  let program = fib_program 15 in
+  let steps =
+    let m = Machine.load program in
+    ignore (Machine.run ~fuel:10_000_000 m);
+    Machine.instructions_retired m
+  in
+  let runs = 10 in
+  let machines = Array.init runs (fun _ -> Machine.load program) in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun m -> ignore (Machine.run ~fuel:10_000_000 m)) machines;
+  let step_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (runs * steps) in
+  let load_ns = time_per_op ~iters:50 (fun () -> Machine.load program) in
+  (* end-to-end engines at 1 worker, with an N-worker determinism check *)
+  let fuzz_seeds = 64 in
+  let time_fuzz workers =
+    let t0 = Unix.gettimeofday () in
+    let o = Campaign.run ~workers (Plans.fuzz_plan ~seeds:fuzz_seeds ~seed:11L ()) in
+    (Unix.gettimeofday () -. t0, Plans.fuzz_totals o)
+  in
+  let tf1, f1 = time_fuzz 1 in
+  let _, f4 = time_fuzz 4 in
+  if f1 <> f4 then failwith "bench: fuzz results differ across worker counts";
+  let faults = 48 in
+  let time_inject workers =
+    let t0 = Unix.gettimeofday () in
+    let o = Campaign.run ~workers (Plans.inject_plan ~faults ~seed:7L ()) in
+    (Unix.gettimeofday () -. t0, Plans.inject_totals o)
+  in
+  let ti1, i1 = time_inject 1 in
+  let _, i4 = time_inject 4 in
+  if i1 <> i4 then failwith "bench: injection results differ across worker counts";
+  Format.printf "fuzz and injection results identical at 1 and 4 workers: true@.";
+  [
+    section "qarma_mac_reference" ref_ns;
+    section ~before:ref_ns ~src:"reference oracle, this run" "qarma_mac_fast" fast_ns;
+    section ~before:seed_machine_step_ns ~src:seed_src "machine_step" step_ns;
+    section ~before:seed_machine_load_ns ~src:seed_src "machine_load" load_ns;
+    section ~before:seed_fuzz_ns ~src:seed_src "fuzz_program"
+      (tf1 *. 1e9 /. float_of_int fuzz_seeds);
+    section ~before:seed_inject_ns ~src:seed_src "inject_fault"
+      (ti1 *. 1e9 /. float_of_int faults);
+  ]
+
+let print_sections sections =
+  Format.printf "@.=== Hot-path sections ===@.";
+  Format.printf "%-22s %14s %16s %14s %9s@." "section" "ns/op" "ops/s" "before ns/op" "speedup";
+  List.iter
+    (fun s ->
+      Format.printf "%-22s %14.1f %16.1f %14s %9s@." s.sname s.ns_per_op s.ops_per_sec
+        (match s.before_ns with Some v -> Printf.sprintf "%.1f" v | None -> "-")
+        (match speedup s with Some v -> Printf.sprintf "%.2fx" v | None -> "-"))
+    sections
+
+(* --- throughput gates ----------------------------------------------------- *)
+
+(* Floors are deliberately generous — at least 2x (mostly 5-10x) below the
+   numbers measured on the development host — so the CI perf-smoke job
+   catches order-of-magnitude regressions, not machine-to-machine noise. *)
+
+type gate = { gname : string; metric : string; floor : float; value : float }
+
+let gates sections =
+  let s n = List.find (fun x -> x.sname = n) sections in
+  let mac_speedup = match speedup (s "qarma_mac_fast") with Some v -> v | None -> 0. in
+  [
+    { gname = "mac_speedup"; metric = "fast MAC speedup over reference (x)";
+      floor = 5.0; value = mac_speedup };
+    { gname = "mac_rate"; metric = "QARMA MACs per second";
+      floor = 200_000.; value = (s "qarma_mac_fast").ops_per_sec };
+    { gname = "step_rate"; metric = "machine steps per second";
+      floor = 2_000_000.; value = (s "machine_step").ops_per_sec };
+    { gname = "fuzz_rate"; metric = "fuzz programs per second";
+      floor = 20.; value = (s "fuzz_program").ops_per_sec };
+    { gname = "inject_rate"; metric = "injected faults per second";
+      floor = 15.; value = (s "inject_fault").ops_per_sec };
+  ]
+
+(* --- JSON export (schema documented in README.md) ------------------------- *)
+
+let json_of ~mode sections gate_results =
+  let opt f = function Some v -> f v | None -> Json.Null in
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("bench", Json.String "pacstack-hot-path");
+      ("mode", Json.String mode);
+      ( "sections",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.sname);
+                   ("ns_per_op", Json.Float s.ns_per_op);
+                   ("ops_per_sec", Json.Float s.ops_per_sec);
+                   ("before_ns_per_op", opt (fun v -> Json.Float v) s.before_ns);
+                   ("before_source", opt (fun v -> Json.String v) s.before_src);
+                   ("speedup", opt (fun v -> Json.Float v) (speedup s));
+                 ])
+             sections) );
+      ( "gates",
+        match gate_results with
+        | None -> Json.Null
+        | Some gs ->
+          Json.List
+            (List.map
+               (fun (g, pass) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String g.gname);
+                     ("metric", Json.String g.metric);
+                     ("floor", Json.Float g.floor);
+                     ("value", Json.Float g.value);
+                     ("pass", Json.Bool pass);
+                   ])
+               gs) );
+    ]
 
 (* --- campaign pool: wall-clock scaling ---------------------------------- *)
 
@@ -138,50 +309,6 @@ let campaign_scaling () =
   Format.printf "4 workers: %6.2fs  (speedup %.2fx)@." t4 (t1 /. t4);
   Format.printf "results identical across worker counts: %b@." identical;
   if not identical then failwith "campaign determinism violated in bench harness"
-
-(* --- differential fuzzing: programs/sec --------------------------------- *)
-
-let fuzz_throughput () =
-  Format.printf "@.=== Differential fuzzing: throughput ===@.";
-  let seeds = 64 in
-  let time workers =
-    let t0 = Unix.gettimeofday () in
-    let outcome = Campaign.run ~workers (Plans.fuzz_plan ~seeds ~seed:11L ()) in
-    (Unix.gettimeofday () -. t0, Plans.fuzz_totals outcome)
-  in
-  let t1, s1 = time 1 in
-  let t4, s4 = time 4 in
-  Format.printf "1 worker:  %6.2fs  %7.1f programs/s@." t1 (float_of_int seeds /. t1);
-  Format.printf "4 workers: %6.2fs  %7.1f programs/s  (speedup %.2fx)@." t4
-    (float_of_int seeds /. t4) (t1 /. t4);
-  Format.printf "divergences: %d, crashes: %d, skipped: %d@."
-    (List.length s1.Fuzz_driver.failures) s1.Fuzz_driver.crashes s1.Fuzz_driver.skipped;
-  let identical = s1 = s4 in
-  Format.printf "results identical across worker counts: %b@." identical;
-  if not identical then failwith "fuzz determinism violated in bench harness"
-
-(* --- fault injection: faults/sec and retry overhead ---------------------- *)
-
-let injection_throughput () =
-  Format.printf "@.=== Fault injection: throughput ===@.";
-  let faults = 48 in
-  let time workers =
-    let t0 = Unix.gettimeofday () in
-    let outcome = Campaign.run ~workers (Plans.inject_plan ~faults ~seed:7L ()) in
-    (Unix.gettimeofday () -. t0, Plans.inject_totals outcome)
-  in
-  let t1, s1 = time 1 in
-  let t4, s4 = time 4 in
-  Format.printf "1 worker:  %6.2fs  %7.1f faults/s@." t1 (float_of_int faults /. t1);
-  Format.printf "4 workers: %6.2fs  %7.1f faults/s  (speedup %.2fx)@." t4
-    (float_of_int faults /. t4) (t1 /. t4);
-  let silents cells =
-    List.fold_left (fun acc (_, c) -> acc + c.Pacstack_inject.Engine.silent) 0 cells
-  in
-  Format.printf "silent corruptions (all schemes): %d@." (silents s1.Pacstack_inject.Engine.cells);
-  let identical = s1 = s4 in
-  Format.printf "results identical across worker counts: %b@." identical;
-  if not identical then failwith "injection determinism violated in bench harness"
 
 (* Crash-tolerance tax: the same plan with every shard failing once
    before succeeding, against the clean run — measures the retry path
@@ -238,11 +365,55 @@ let run_bechamel () =
     (List.sort compare names)
 
 let () =
-  Format.printf "PACStack reproduction: regenerating all tables and figures@.";
-  Pacstack_report.Report.all Format.std_formatter;
-  run_bechamel ();
-  campaign_scaling ();
-  fuzz_throughput ();
-  injection_throughput ();
-  retry_overhead ();
+  let quick = ref false and json = ref false and gate = ref false in
+  let out = ref "BENCH_04.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--json" :: rest -> json := true; parse rest
+    | "--gate" :: rest -> gate := true; parse rest
+    | "--out" :: file :: rest -> out := file; json := true; parse rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %s\nusage: bench [--quick] [--json] [--gate] [--out FILE]\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if not !quick then begin
+    Format.printf "PACStack reproduction: regenerating all tables and figures@.";
+    Pacstack_report.Report.all Format.std_formatter;
+    run_bechamel ()
+  end;
+  let sections = perf_sections () in
+  print_sections sections;
+  if not !quick then begin
+    campaign_scaling ();
+    retry_overhead ()
+  end;
+  let gate_results =
+    if not !gate then None
+    else Some (List.map (fun g -> (g, g.value >= g.floor)) (gates sections))
+  in
+  (match gate_results with
+  | None -> ()
+  | Some gs ->
+    Format.printf "@.=== Throughput gates ===@.";
+    List.iter
+      (fun (g, pass) ->
+        Format.printf "%-12s %-38s floor %12.1f  value %16.1f  %s@." g.gname g.metric g.floor
+          g.value
+          (if pass then "ok" else "FAIL"))
+      gs);
+  if !json then begin
+    let doc = json_of ~mode:(if !quick then "quick" else "full") sections gate_results in
+    let oc = open_out !out in
+    output_string oc (Json.to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    Format.printf "wrote %s@." !out
+  end;
+  (match gate_results with
+  | Some gs when List.exists (fun (_, pass) -> not pass) gs ->
+    prerr_endline "bench: throughput gate failed";
+    exit 1
+  | _ -> ());
   Format.printf "@.done.@."

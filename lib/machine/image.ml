@@ -77,10 +77,20 @@ let program t = t.program
 
 let fetch t addr =
   let off = Int64.sub addr code_base in
-  if Int64.unsigned_compare off 0L < 0 || Int64.rem off 4L <> 0L then None
-  else
-    let idx = Int64.to_int (Int64.div off 4L) in
-    if idx >= Array.length t.code then None else Some t.code.(idx)
+  if Int64.logand off 3L <> 0L
+     || Int64.unsigned_compare off (Int64.of_int (4 * Array.length t.code)) >= 0
+  then None
+  else Some t.code.(Int64.to_int off lsr 2)
+
+(* The interpreter's per-step fetch: a bounds-checked read of the
+   predecoded instruction array, no [Option] box. Out-of-image or
+   misaligned PCs raise the same fault [Machine.step] used to build. *)
+let fetch_exn t addr =
+  let off = Int64.sub addr code_base in
+  if Int64.logand off 3L <> 0L
+     || Int64.unsigned_compare off (Int64.of_int (4 * Array.length t.code)) >= 0
+  then raise (Trap.Fault (Trap.Undefined (Printf.sprintf "fetch outside code at %Lx" addr)))
+  else Array.unsafe_get t.code (Int64.to_int off lsr 2)
 
 let symbol t name = Hashtbl.find_opt t.globals name
 

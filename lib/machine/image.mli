@@ -23,6 +23,11 @@ val program : t -> Pacstack_isa.Program.t
 val fetch : t -> Pacstack_util.Word64.t -> Pacstack_isa.Instr.t option
 (** The instruction at a code address, [None] outside the code image. *)
 
+val fetch_exn : t -> Pacstack_util.Word64.t -> Pacstack_isa.Instr.t
+(** Allocation-free fetch for the step loop: indexes the predecoded
+    instruction array at [(addr − code_base) / 4]; raises
+    [Trap.Fault (Trap.Undefined _)] outside the image or misaligned. *)
+
 val symbol : t -> string -> Pacstack_util.Word64.t option
 (** Address of a global symbol (function or data object). *)
 

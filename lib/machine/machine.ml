@@ -87,11 +87,7 @@ let load ?(cfg = Config.default) ?keys ?rng program =
   let words, _pools = Image.encoded image in
   Array.iteri
     (fun i w ->
-      let addr = Int64.add Image.code_base (Int64.of_int (4 * i)) in
-      Memory.store8 mem addr (Int32.to_int w land 0xff);
-      Memory.store8 mem (Int64.add addr 1L) ((Int32.to_int w lsr 8) land 0xff);
-      Memory.store8 mem (Int64.add addr 2L) ((Int32.to_int w lsr 16) land 0xff);
-      Memory.store8 mem (Int64.add addr 3L) ((Int32.to_int w lsr 24) land 0xff))
+      Memory.store32 mem (Int64.add Image.code_base (Int64.of_int (4 * i))) w)
     words;
   Memory.protect mem ~addr:Image.code_base ~size:code_bytes Memory.perm_rx;
   (* one rw data region covering all objects (the image appends the canary
@@ -310,11 +306,7 @@ let step t =
   | None ->
     translate t t.pc Trap.Execute;
     Memory.check_exec t.mem t.pc;
-    let instr =
-      match Image.fetch t.image t.pc with
-      | Some i -> i
-      | None -> raise (Trap.Fault (Trap.Undefined (Printf.sprintf "fetch outside code at %Lx" t.pc)))
-    in
+    let instr = Image.fetch_exn t.image t.pc in
     t.cycles <- t.cycles + Instr.cycles instr;
     t.instret <- t.instret + 1;
     (match instr with
@@ -326,18 +318,20 @@ let step t =
 
 type outcome = Halted of int | Faulted of Trap.t | Out_of_fuel
 
+(* The fault handler is installed once around the whole loop, not per
+   step, so the hot path is just halt-check / fuel-check / step. *)
 let run ?(fuel = 10_000_000) t =
   let rec go budget =
     match t.halted with
     | Some code -> Halted code
     | None ->
       if budget = 0 then Out_of_fuel
-      else (
-        match step t with
-        | () -> go (budget - 1)
-        | exception Trap.Fault f -> Faulted f)
+      else begin
+        step t;
+        go (budget - 1)
+      end
   in
-  go fuel
+  try go fuel with Trap.Fault f -> Faulted f
 
 (* Like [run], but stops short when [stop] becomes true — the stepping
    primitive fault-injection uses to reach a trigger point mid-run
@@ -349,12 +343,12 @@ let run_until ?(fuel = 10_000_000) t ~stop =
     | None ->
       if stop t then None
       else if budget = 0 then Some Out_of_fuel
-      else (
-        match step t with
-        | () -> go (budget - 1)
-        | exception Trap.Fault f -> Some (Faulted f))
+      else begin
+        step t;
+        go (budget - 1)
+      end
   in
-  go fuel
+  try go fuel with Trap.Fault f -> Some (Faulted f)
 
 let pp_state fmt t =
   Format.fprintf fmt "pc=%a sp=%a lr=%a cr=%a x0=%a cycles=%d" Word64.pp t.pc Word64.pp t.sp

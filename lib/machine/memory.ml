@@ -5,6 +5,7 @@ type perm = { readable : bool; writable : bool; executable : bool }
 let perm_r = { readable = true; writable = false; executable = false }
 let perm_rw = { readable = true; writable = true; executable = false }
 let perm_rx = { readable = true; writable = false; executable = true }
+let perm_none = { readable = false; writable = false; executable = false }
 
 let pp_perm fmt p =
   Format.fprintf fmt "%c%c%c"
@@ -12,14 +13,46 @@ let pp_perm fmt p =
     (if p.writable then 'w' else '-')
     (if p.executable then 'x' else '-')
 
-type page = { data : Bytes.t; perm : perm }
-
-type t = { pages : (int64, page) Hashtbl.t }
-
 let page_size = 4096
 let page_bits = 12
 
-let create () = { pages = Hashtbl.create 64 }
+(* Pages are allocated lazily: a freshly mapped page shares [zero_page]
+   (all-zero, read-only by convention — every write path materialises a
+   private copy first), so mapping a 1 MiB stack costs 256 table entries,
+   not 1 MiB of zeroing. *)
+let zero_page = Bytes.make page_size '\000'
+
+type page = { mutable data : Bytes.t; perm : perm }
+
+(* One-entry TLBs, keyed by page index: [tlb_d_*] caches the last data
+   translation (loads/stores), [tlb_x_*] the last execute translation
+   (one per step), so the two access streams don't evict each other.
+   Both are invalidated by map/unmap/protect. The sentinel index [-1L]
+   can never equal a real index (indices are addr lsr 12 < 2^52). *)
+type t = {
+  pages : (int64, page) Hashtbl.t;
+  mutable tlb_d_idx : int64;
+  mutable tlb_d_page : page;
+  mutable tlb_x_idx : int64;
+  mutable tlb_x_page : page;
+}
+
+let no_page = { data = zero_page; perm = perm_none }
+
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    tlb_d_idx = -1L;
+    tlb_d_page = no_page;
+    tlb_x_idx = -1L;
+    tlb_x_page = no_page;
+  }
+
+let invalidate_tlb t =
+  t.tlb_d_idx <- -1L;
+  t.tlb_d_page <- no_page;
+  t.tlb_x_idx <- -1L;
+  t.tlb_x_page <- no_page
 
 let page_index addr = Int64.shift_right_logical addr page_bits
 let page_offset addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 1)))
@@ -37,8 +70,9 @@ let map t ~addr ~size perm =
   done;
   for i = 0 to n do
     let idx = Int64.add first (Int64.of_int i) in
-    Hashtbl.replace t.pages idx { data = Bytes.make page_size '\000'; perm }
-  done
+    Hashtbl.replace t.pages idx { data = zero_page; perm }
+  done;
+  invalidate_tlb t
 
 let unmap t ~addr ~size =
   if size <= 0 then invalid_arg "Memory.unmap: size";
@@ -47,7 +81,8 @@ let unmap t ~addr ~size =
   let n = Int64.to_int (Int64.sub last first) in
   for i = 0 to n do
     Hashtbl.remove t.pages (Int64.add first (Int64.of_int i))
-  done
+  done;
+  invalidate_tlb t
 
 let protect t ~addr ~size perm =
   if size <= 0 then invalid_arg "Memory.protect: size";
@@ -60,17 +95,32 @@ let protect t ~addr ~size perm =
     match Hashtbl.find_opt t.pages idx with
     | None -> invalid_arg (Printf.sprintf "Memory.protect: page %Lx not mapped" idx)
     | Some p -> Hashtbl.replace t.pages idx { p with perm }
-  done
+  done;
+  invalidate_tlb t
 
 let find t addr = Hashtbl.find_opt t.pages (page_index addr)
 
 let is_mapped t addr = find t addr <> None
 let perm_at t addr = Option.map (fun p -> p.perm) (find t addr)
 
+(* Hot-path translation: one compare on a TLB hit, one hashtable probe on
+   a miss. *)
 let page_for t addr access =
-  match find t addr with
-  | None -> raise (Trap.Fault (Trap.Unmapped (addr, access)))
-  | Some p -> p
+  let idx = page_index addr in
+  if Int64.equal idx t.tlb_d_idx then t.tlb_d_page
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+      t.tlb_d_idx <- idx;
+      t.tlb_d_page <- p;
+      p
+    | None -> raise (Trap.Fault (Trap.Unmapped (addr, access)))
+
+(* A write to a page still sharing [zero_page] first gives it a private
+   zeroed copy. *)
+let writable_data p =
+  if p.data == zero_page then p.data <- Bytes.make page_size '\000';
+  p.data
 
 let load8 t addr =
   let p = page_for t addr Trap.Read in
@@ -80,7 +130,7 @@ let load8 t addr =
 let store8 t addr v =
   let p = page_for t addr Trap.Write in
   if not p.perm.writable then raise (Trap.Fault (Trap.Permission (addr, Trap.Write)));
-  Bytes.set p.data (page_offset addr) (Char.chr (v land 0xff))
+  Bytes.set (writable_data p) (page_offset addr) (Char.chr (v land 0xff))
 
 let load64 t addr =
   (* Fast path: the common aligned access within one page. *)
@@ -102,15 +152,55 @@ let store64 t addr v =
   if off <= page_size - 8 then begin
     let p = page_for t addr Trap.Write in
     if not p.perm.writable then raise (Trap.Fault (Trap.Permission (addr, Trap.Write)));
-    Bytes.set_int64_le p.data off v
+    Bytes.set_int64_le (writable_data p) off v
   end
   else
     for i = 0 to 7 do
       store8 t (Int64.add addr (Int64.of_int i)) (Int64.to_int (Word64.extract v ~lo:(8 * i) ~width:8))
     done
 
+let load32 t addr =
+  let off = page_offset addr in
+  if off <= page_size - 4 then begin
+    let p = page_for t addr Trap.Read in
+    if not p.perm.readable then raise (Trap.Fault (Trap.Permission (addr, Trap.Read)));
+    Bytes.get_int32_le p.data off
+  end
+  else
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        go (i - 1)
+          (Int32.logor (Int32.shift_left acc 8)
+             (Int32.of_int (load8 t (Int64.add addr (Int64.of_int i)))))
+    in
+    go 3 0l
+
+let store32 t addr v =
+  let off = page_offset addr in
+  if off <= page_size - 4 then begin
+    let p = page_for t addr Trap.Write in
+    if not p.perm.writable then raise (Trap.Fault (Trap.Permission (addr, Trap.Write)));
+    Bytes.set_int32_le (writable_data p) off v
+  end
+  else
+    for i = 0 to 3 do
+      store8 t (Int64.add addr (Int64.of_int i))
+        (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff)
+    done
+
 let check_exec t addr =
-  let p = page_for t addr Trap.Execute in
+  let idx = page_index addr in
+  let p =
+    if Int64.equal idx t.tlb_x_idx then t.tlb_x_page
+    else
+      match Hashtbl.find_opt t.pages idx with
+      | Some p ->
+        t.tlb_x_idx <- idx;
+        t.tlb_x_page <- p;
+        p
+      | None -> raise (Trap.Fault (Trap.Unmapped (addr, Trap.Execute)))
+  in
   if not p.perm.executable then raise (Trap.Fault (Trap.Permission (addr, Trap.Execute)))
 
 let peek64 t addr =
@@ -143,14 +233,24 @@ let poke64 t addr v =
     for i = 0 to 7 do
       let a = Int64.add addr (Int64.of_int i) in
       let p = page_for t a Trap.Write in
-      Bytes.set p.data (page_offset a) (Char.chr (Int64.to_int (Word64.extract v ~lo:(8 * i) ~width:8)))
+      Bytes.set (writable_data p) (page_offset a) (Char.chr (Int64.to_int (Word64.extract v ~lo:(8 * i) ~width:8)))
     done;
   !ok
 
 let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun k p -> Hashtbl.replace pages k { p with data = Bytes.copy p.data }) t.pages;
-  { pages }
+  Hashtbl.iter
+    (fun k p ->
+      let data = if p.data == zero_page then zero_page else Bytes.copy p.data in
+      Hashtbl.replace pages k { p with data })
+    t.pages;
+  {
+    pages;
+    tlb_d_idx = -1L;
+    tlb_d_page = no_page;
+    tlb_x_idx = -1L;
+    tlb_x_page = no_page;
+  }
 
 let mapped_ranges t =
   let idxs = Hashtbl.fold (fun k p acc -> (k, p.perm) :: acc) t.pages [] in

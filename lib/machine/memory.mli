@@ -2,7 +2,13 @@
 
     Addresses are 64-bit words; multi-byte accesses are little-endian and
     may cross page boundaries. Unmapped or insufficiently-permitted
-    accesses raise {!Trap.Fault}. *)
+    accesses raise {!Trap.Fault}.
+
+    Performance: pages are allocated lazily (a mapped-but-untouched page
+    shares one zero page until first written), and the last data and
+    execute translations are cached in one-entry TLBs — invalidated by
+    {!map}/{!unmap}/{!protect}, so a stale translation can never outlive
+    a permission change. *)
 
 type perm = { readable : bool; writable : bool; executable : bool }
 
@@ -36,6 +42,12 @@ val load8 : t -> Pacstack_util.Word64.t -> int
 val store8 : t -> Pacstack_util.Word64.t -> int -> unit
 val load64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t
 val store64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t -> unit
+
+val load32 : t -> Pacstack_util.Word64.t -> int32
+val store32 : t -> Pacstack_util.Word64.t -> int32 -> unit
+(** 32-bit little-endian accesses (one instruction word); single
+    [Bytes] read/write when the access stays inside one page, as with
+    {!load64}/{!store64}. *)
 
 val check_exec : t -> Pacstack_util.Word64.t -> unit
 (** Raises unless the address lies in an executable page. *)

@@ -4,8 +4,11 @@ type t = Word64.t
 
 let address (cfg : Config.t) p = Word64.extract p ~lo:0 ~width:cfg.va_size
 
+(* Equivalent to [extract ~lo:va_size ~width:(64 - va_size) = 0L] but
+   branch-free: this runs once per simulated instruction and once per
+   memory access (va_size ≤ 52, so the shift count is always valid). *)
 let is_canonical (cfg : Config.t) p =
-  Word64.extract p ~lo:cfg.va_size ~width:(64 - cfg.va_size) = 0L
+  Int64.equal (Int64.shift_right_logical p cfg.va_size) 0L
 
 let pac_field (cfg : Config.t) p =
   Word64.extract p ~lo:(Config.pac_lo cfg) ~width:cfg.pac_bits

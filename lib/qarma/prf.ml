@@ -2,10 +2,13 @@ module Word64 = Pacstack_util.Word64
 module Rng = Pacstack_util.Rng
 
 type t =
-  | Qarma of { key : Qarma64.key; rounds : int }
+  | Qarma of { key : Qarma64.key; rounds : int; ctx : Qarma64.ctx }
   | Fast of Word64.t
 
-let create ?(rounds = Qarma64.default_rounds) key = Qarma { key; rounds }
+(* The per-key cipher context (w1, round tweakeys) is precomputed here,
+   once, rather than re-derived on every mac64. *)
+let create ?(rounds = Qarma64.default_rounds) key =
+  Qarma { key; rounds; ctx = Qarma64.prepare ~rounds key }
 let create_fast secret = Fast secret
 
 let of_rng ?(fast = false) ?rounds rng =
@@ -20,7 +23,7 @@ let mix z =
 
 let mac64 t ~data ~modifier =
   match t with
-  | Qarma { key; rounds } -> Qarma64.encrypt ~rounds key ~tweak:modifier data
+  | Qarma { ctx; _ } -> Qarma64.encrypt_ctx ctx ~tweak:modifier data
   | Fast secret ->
     (* Two dependent mixing rounds bind data, modifier and key. *)
     let a = mix (Int64.logxor data secret) in
@@ -35,7 +38,7 @@ let key = function Qarma { key; _ } -> Some key | Fast _ -> None
 
 let equal a b =
   match a, b with
-  | Qarma { key = k1; rounds = r1 }, Qarma { key = k2; rounds = r2 } ->
+  | Qarma { key = k1; rounds = r1; _ }, Qarma { key = k2; rounds = r2; _ } ->
     Qarma64.key_equal k1 k2 && r1 = r2
   | Fast s1, Fast s2 -> Word64.equal s1 s2
   | Qarma _, Fast _ | Fast _, Qarma _ -> false

@@ -92,6 +92,68 @@ let test_mem_copy_independent () =
   Memory.store64 m 0L 2L;
   Alcotest.check check_w64 "copy unchanged" 1L (Memory.load64 c 0L)
 
+let test_mem_word32 () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~size:8192 Memory.perm_rw;
+  Memory.store32 m 0x10L 0xdeadbeefl;
+  Alcotest.(check int32) "32-bit roundtrip" 0xdeadbeefl (Memory.load32 m 0x10L);
+  Alcotest.(check int) "LSB first" 0xef (Memory.load8 m 0x10L);
+  Alcotest.(check int) "MSB last" 0xde (Memory.load8 m 0x13L);
+  let addr = 0xffeL in
+  Memory.store32 m addr 0x11223344l;
+  Alcotest.(check int32) "cross-page roundtrip" 0x11223344l (Memory.load32 m addr)
+
+(* The one-entry TLBs must never let a cached translation outlive a
+   permission change: populate the TLB, drop the permission, and the very
+   next access has to fault. *)
+
+let perm_none = { Memory.readable = false; writable = false; executable = false }
+
+let test_mem_tlb_protect () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~size:4096 Memory.perm_rw;
+  Memory.store64 m 0x1000L 0x42L;
+  Alcotest.check check_w64 "read populates TLB" 0x42L (Memory.load64 m 0x1000L);
+  Memory.protect m ~addr:0x1000L ~size:4096 perm_none;
+  Alcotest.check_raises "stale-TLB read after protect"
+    (Trap.Fault (Trap.Permission (0x1000L, Trap.Read)))
+    (fun () -> ignore (Memory.load64 m 0x1000L));
+  Alcotest.check_raises "stale-TLB write after protect"
+    (Trap.Fault (Trap.Permission (0x1000L, Trap.Write)))
+    (fun () -> Memory.store64 m 0x1000L 1L);
+  (* restoring the permission restores access, contents intact *)
+  Memory.protect m ~addr:0x1000L ~size:4096 Memory.perm_r;
+  Alcotest.check check_w64 "contents survive protect" 0x42L (Memory.load64 m 0x1000L)
+
+let test_mem_tlb_unmap () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x2000L ~size:4096 Memory.perm_rw;
+  Memory.store64 m 0x2000L 0x99L;
+  Alcotest.check check_w64 "read populates TLB" 0x99L (Memory.load64 m 0x2000L);
+  Memory.unmap m ~addr:0x2000L ~size:4096;
+  Alcotest.check_raises "stale-TLB read after unmap"
+    (Trap.Fault (Trap.Unmapped (0x2000L, Trap.Read)))
+    (fun () -> ignore (Memory.load64 m 0x2000L));
+  (* remapping must not resurrect the old page's contents *)
+  Memory.map m ~addr:0x2000L ~size:4096 Memory.perm_rw;
+  Alcotest.check check_w64 "remapped page is zero" 0L (Memory.load64 m 0x2000L)
+
+let test_mem_tlb_exec () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x4000L ~size:4096 Memory.perm_rx;
+  Memory.check_exec m 0x4000L;
+  (* populated x-TLB *)
+  Memory.protect m ~addr:0x4000L ~size:4096 Memory.perm_rw;
+  Alcotest.check_raises "stale-TLB exec after protect"
+    (Trap.Fault (Trap.Permission (0x4000L, Trap.Execute)))
+    (fun () -> Memory.check_exec m 0x4000L);
+  Memory.protect m ~addr:0x4000L ~size:4096 Memory.perm_rx;
+  Memory.check_exec m 0x4000L;
+  Memory.unmap m ~addr:0x4000L ~size:4096;
+  Alcotest.check_raises "stale-TLB exec after unmap"
+    (Trap.Fault (Trap.Unmapped (0x4000L, Trap.Execute)))
+    (fun () -> Memory.check_exec m 0x4000L)
+
 let test_mem_ranges () =
   let m = Memory.create () in
   Memory.map m ~addr:0L ~size:8192 Memory.perm_rw;
@@ -991,6 +1053,10 @@ let () =
           Alcotest.test_case "double map" `Quick test_mem_double_map;
           Alcotest.test_case "peek/poke" `Quick test_mem_peek_poke;
           Alcotest.test_case "copy independence" `Quick test_mem_copy_independent;
+          Alcotest.test_case "32-bit access" `Quick test_mem_word32;
+          Alcotest.test_case "TLB invalidated by protect" `Quick test_mem_tlb_protect;
+          Alcotest.test_case "TLB invalidated by unmap" `Quick test_mem_tlb_unmap;
+          Alcotest.test_case "exec TLB invalidation" `Quick test_mem_tlb_exec;
           Alcotest.test_case "mapped ranges" `Quick test_mem_ranges;
         ] );
       ( "semantics",

@@ -42,6 +42,14 @@ let prop_subcells_inverse =
   qtest "sub_cells inverse" 300 full64 (fun w ->
       Word64.equal (Sbox.sub_cells_inv Sbox.sigma1 (Sbox.sub_cells Sbox.sigma1 w)) w)
 
+let prop_subcells_fast =
+  qtest "byte-table sub_cells == cell-by-cell" 500 full64 (fun w ->
+      List.for_all
+        (fun s ->
+          Word64.equal (Sbox.sub_cells_fast s w) (Sbox.sub_cells s w)
+          && Word64.equal (Sbox.sub_cells_inv_fast s w) (Sbox.sub_cells_inv s w))
+        [ Sbox.sigma0; Sbox.sigma1; Sbox.sigma2 ])
+
 (* --- diffusion layers ---------------------------------------------------- *)
 
 let prop_tau_inverse =
@@ -155,6 +163,98 @@ let prop_injective_per_tweak =
               (Qarma64.encrypt fixed_key ~tweak:9L p1)
               (Qarma64.encrypt fixed_key ~tweak:9L p2)))
 
+(* --- fast path vs. reference oracle -------------------------------------- *)
+
+(* The SWAR rewrite must be bit-identical to the retained cell-by-cell
+   implementation. First the diffusion-layer building blocks... *)
+
+let prop_diffusion_differential =
+  qtest "SWAR diffusion layers == reference" 1000 full64 (fun w ->
+      Word64.equal (Qarma64.tau w) (Qarma64.Reference.tau w)
+      && Word64.equal (Qarma64.tau_inv w) (Qarma64.Reference.tau_inv w)
+      && Word64.equal (Qarma64.mix_columns w) (Qarma64.Reference.mix_columns w)
+      && Word64.equal (Qarma64.tweak_forward w) (Qarma64.Reference.tweak_forward w)
+      && Word64.equal (Qarma64.tweak_backward w) (Qarma64.Reference.tweak_backward w))
+
+(* ...then the whole cipher, over >= 10k random (key, tweak, plaintext)
+   triples, in both directions and through the precomputed-context path. *)
+
+let test_cipher_differential () =
+  let rng = Rng.create 0xd1ffL in
+  for _ = 1 to 10_000 do
+    let key = Qarma64.key ~w0:(Rng.next64 rng) ~k0:(Rng.next64 rng) in
+    let tweak = Rng.next64 rng and p = Rng.next64 rng in
+    let c_ref = Qarma64.Reference.encrypt key ~tweak p in
+    let c = Qarma64.encrypt key ~tweak p in
+    if not (Word64.equal c c_ref) then
+      Alcotest.failf "encrypt diverges: key=(%Lx,%Lx) tweak=%Lx p=%Lx fast=%Lx ref=%Lx"
+        key.Qarma64.w0 key.Qarma64.k0 tweak p c c_ref;
+    let d_ref = Qarma64.Reference.decrypt key ~tweak c in
+    let d = Qarma64.decrypt key ~tweak c in
+    if not (Word64.equal d d_ref && Word64.equal d p) then
+      Alcotest.failf "decrypt diverges: key=(%Lx,%Lx) tweak=%Lx c=%Lx fast=%Lx ref=%Lx"
+        key.Qarma64.w0 key.Qarma64.k0 tweak c d d_ref;
+    let ctx = Qarma64.prepare key in
+    if
+      not
+        (Word64.equal (Qarma64.encrypt_ctx ctx ~tweak p) c
+        && Word64.equal (Qarma64.decrypt_ctx ctx ~tweak c) p)
+    then
+      Alcotest.failf "ctx path diverges: key=(%Lx,%Lx) tweak=%Lx" key.Qarma64.w0 key.Qarma64.k0
+        tweak
+  done
+
+let test_cipher_differential_reduced () =
+  let rng = Rng.create 0xfadeL in
+  for rounds = 1 to 7 do
+    for _ = 1 to 200 do
+      let key = Qarma64.key ~w0:(Rng.next64 rng) ~k0:(Rng.next64 rng) in
+      let tweak = Rng.next64 rng and p = Rng.next64 rng in
+      let c = Qarma64.encrypt ~rounds key ~tweak p in
+      Alcotest.check check_w64
+        (Printf.sprintf "encrypt at %d rounds" rounds)
+        (Qarma64.Reference.encrypt ~rounds key ~tweak p)
+        c;
+      Alcotest.check check_w64
+        (Printf.sprintf "decrypt at %d rounds" rounds)
+        (Qarma64.Reference.decrypt ~rounds key ~tweak c)
+        (Qarma64.decrypt ~rounds key ~tweak c)
+    done
+  done
+
+(* A ctx is reusable: repeated calls with interleaved tweaks never
+   contaminate each other (the tweak schedule is run incrementally inside
+   encrypt_ctx, so this pins the restore-on-exit behaviour). *)
+let test_ctx_reuse () =
+  let ctx = Qarma64.prepare fixed_key in
+  let pairs = List.init 50 (fun i -> (Int64.of_int (i * 77), Int64.of_int (i * 131))) in
+  let once = List.map (fun (t, p) -> Qarma64.encrypt_ctx ctx ~tweak:t p) pairs in
+  let again = List.map (fun (t, p) -> Qarma64.encrypt_ctx ctx ~tweak:t p) pairs in
+  List.iter2 (Alcotest.check check_w64 "ctx reuse stable") once again;
+  List.iter2
+    (fun (t, p) c ->
+      Alcotest.check check_w64 "ctx matches one-shot" (Qarma64.encrypt fixed_key ~tweak:t p) c)
+    pairs once
+
+(* The frozen vectors above pin the fast path (Qarma64.encrypt); this pins
+   the oracle to the same constants, so neither implementation can drift. *)
+let test_regression_vectors_reference () =
+  List.iter
+    (fun (p, t, c) ->
+      Alcotest.check check_w64 "frozen vector (reference)" c
+        (Qarma64.Reference.encrypt fixed_key ~tweak:t p);
+      Alcotest.check check_w64 "frozen vector inverts (reference)" p
+        (Qarma64.Reference.decrypt fixed_key ~tweak:t c))
+    [
+      (0x0000000000000000L, 0x0000000000000000L, 0xbf12d538b1239d20L);
+      (0xdeadbeefcafebabeL, 0x1122334455667788L, 0x1b415073a6e89eadL);
+      (0x0000000000000001L, 0x0000000000000000L, 0x9b62c508e7bc0996L);
+      (0x0000000000000000L, 0x0000000000000001L, 0x0e586e1cf9a8e866L);
+      (0xffffffffffffffffL, 0xffffffffffffffffL, 0x5e7240a2bebcabffL);
+    ];
+  Alcotest.check check_w64 "frozen reduced-round vector (reference)" 0xa96e2d9ce255f255L
+    (Qarma64.Reference.encrypt ~rounds:2 fixed_key ~tweak:42L 7L)
+
 let test_key_helpers () =
   let rng = Rng.create 77L in
   let k1 = Qarma64.random_key rng and k2 = Qarma64.random_key rng in
@@ -217,6 +317,7 @@ let () =
           Alcotest.test_case "inverses" `Quick test_sbox_inverse;
           Alcotest.test_case "bounds" `Quick test_sbox_bounds;
           prop_subcells_inverse;
+          prop_subcells_fast;
         ] );
       ( "diffusion",
         [
@@ -236,6 +337,16 @@ let () =
           Alcotest.test_case "key avalanche" `Quick test_avalanche_key;
           prop_injective_per_tweak;
           Alcotest.test_case "key helpers" `Quick test_key_helpers;
+        ] );
+      ( "differential",
+        [
+          prop_diffusion_differential;
+          Alcotest.test_case "10k triples fast == reference" `Quick test_cipher_differential;
+          Alcotest.test_case "reduced rounds fast == reference" `Quick
+            test_cipher_differential_reduced;
+          Alcotest.test_case "ctx reuse" `Quick test_ctx_reuse;
+          Alcotest.test_case "frozen vectors pin the oracle" `Quick
+            test_regression_vectors_reference;
         ] );
       ( "prf",
         [
