@@ -1,0 +1,144 @@
+(* Golden-schema validator for the bench JSON export and for lib/obs
+   trace files, used from dune runtest and the CI perf-smoke job.
+
+     check_json BENCH.json        validate the bench export: parses with
+                                  the campaign Json codec and carries the
+                                  documented schema_version / section /
+                                  gate keys (see README.md)
+     check_json --trace FILE      validate a JSON-lines obs trace: every
+                                  line parses, the header comes first,
+                                  and every record is a metric or event
+
+   Exits 0 when the file validates, 1 with a message naming the first
+   violation otherwise. *)
+
+module Json = Pacstack_campaign.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_json: " ^ m); exit 1) fmt
+
+let str_member name v =
+  match Json.(Option.bind (member name v) to_str) with
+  | Some s -> s
+  | None -> fail "missing string field %S in %s" name (Json.to_string v)
+
+let int_member name v =
+  match Json.(Option.bind (member name v) to_int) with
+  | Some n -> n
+  | None -> fail "missing int field %S in %s" name (Json.to_string v)
+
+let float_member name v =
+  match Json.(Option.bind (member name v) to_float) with
+  | Some f -> f
+  | None -> fail "missing number field %S in %s" name (Json.to_string v)
+
+let require_member name v =
+  match Json.member name v with
+  | Some f -> f
+  | None -> fail "missing field %S in %s" name (Json.to_string v)
+
+let list_member name v =
+  match Json.to_list (require_member name v) with
+  | Some l -> l
+  | None -> fail "field %S is not a list in %s" name (Json.to_string v)
+
+(* --- the BENCH_05.json schema ------------------------------------------- *)
+
+let check_section s =
+  let name = str_member "name" s in
+  let ns = float_member "ns_per_op" s in
+  let ops = float_member "ops_per_sec" s in
+  if not (Float.is_finite ns && ns > 0.) then fail "section %S: bad ns_per_op" name;
+  if not (Float.is_finite ops && ops > 0.) then fail "section %S: bad ops_per_sec" name;
+  (* optional keys must still be present (possibly null) *)
+  ignore (require_member "before_ns_per_op" s);
+  ignore (require_member "before_source" s);
+  ignore (require_member "speedup" s);
+  name
+
+let check_gate g =
+  let name = str_member "name" g in
+  ignore (str_member "metric" g);
+  (match str_member "op" g with
+  | ">=" | "<=" -> ()
+  | op -> fail "gate %S: unknown op %S" name op);
+  ignore (float_member "limit" g);
+  ignore (float_member "value" g);
+  match Json.(Option.bind (member "pass" g) to_bool) with
+  | Some _ -> ()
+  | None -> fail "gate %S: missing bool field \"pass\"" name
+
+let check_bench path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let doc =
+    match Json.parse text with
+    | Ok v -> v
+    | Error e -> fail "%s does not parse: %s" path e
+  in
+  let version = int_member "schema_version" doc in
+  if version <> 2 then fail "schema_version %d, expected 2" version;
+  if str_member "bench" doc <> "pacstack-hot-path" then fail "unexpected bench id";
+  (match str_member "mode" doc with
+  | "quick" | "full" -> ()
+  | m -> fail "unknown mode %S" m);
+  let obs = require_member "obs_overhead" doc in
+  ignore (float_member "guard_ns" obs);
+  ignore (float_member "machine_step_pct" obs);
+  ignore (float_member "fuzz_seed_pct" obs);
+  let sections = List.map check_section (list_member "sections" doc) in
+  List.iter
+    (fun required ->
+      if not (List.mem required sections) then fail "missing section %S" required)
+    [ "qarma_mac_fast"; "machine_step"; "machine_load"; "fuzz_program"; "inject_fault" ];
+  (match require_member "gates" doc with
+  | Json.Null -> ()
+  | gates -> (
+    match Json.to_list gates with
+    | Some gs -> List.iter check_gate gs
+    | None -> fail "\"gates\" is neither null nor a list"));
+  Printf.printf "check_json: %s ok (%d sections)\n" path (List.length sections)
+
+(* --- obs trace files (JSON lines) ---------------------------------------- *)
+
+let check_trace path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let n_metrics = ref 0 and n_events = ref 0 in
+  (match lines with
+  | [] -> fail "%s is empty" path
+  | header :: rest ->
+    (match Json.parse header with
+    | Error e -> fail "%s line 1 does not parse: %s" path e
+    | Ok v ->
+      if str_member "type" v <> "header" then fail "line 1 is not the header";
+      if str_member "schema" v <> "pacstack-obs" then fail "unknown trace schema";
+      ignore (int_member "version" v);
+      ignore (int_member "dropped" v));
+    List.iteri
+      (fun i line ->
+        let lineno = i + 2 in
+        match Json.parse line with
+        | Error e -> fail "%s line %d does not parse: %s" path lineno e
+        | Ok v -> (
+          match str_member "type" v with
+          | "metric" ->
+            incr n_metrics;
+            ignore (str_member "name" v);
+            (match str_member "kind" v with
+            | "counter" | "gauge" | "histogram" -> ()
+            | k -> fail "line %d: unknown metric kind %S" lineno k)
+          | "event" ->
+            incr n_events;
+            ignore (str_member "name" v);
+            ignore (int_member "key" v);
+            ignore (int_member "seq" v);
+            ignore (require_member "fields" v)
+          | t -> fail "line %d: unknown record type %S" lineno t))
+      rest);
+  Printf.printf "check_json: %s ok (%d metrics, %d events)\n" path !n_metrics !n_events
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--trace"; path ] -> check_trace path
+  | [ _; path ] -> check_bench path
+  | _ ->
+    prerr_endline "usage: check_json BENCH.json | check_json --trace TRACE.jsonl";
+    exit 2

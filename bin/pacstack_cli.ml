@@ -12,6 +12,7 @@ module Report = Pacstack_report.Report
 module Plans = Pacstack_report.Plans
 module Fuzz_driver = Pacstack_fuzz.Driver
 module Inject_engine = Pacstack_inject.Engine
+module Obs = Pacstack_obs.Obs
 
 let scheme_conv =
   let parse s =
@@ -155,6 +156,37 @@ let with_campaign_signals f =
         List.iter (fun (s, previous) -> try ignore (Sys.signal s previous) with _ -> ()) saved)
     f
 
+(* --- --trace: lib/obs instrumentation on the campaign subcommands -------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable lib/obs instrumentation for this run and write the metrics registry plus \
+           merged trace events to $(docv) as JSON lines afterwards. Results are identical \
+           with or without tracing.")
+
+(* Runs [f] with obs enabled when --trace was given, handing it an obs
+   progress sink to compose with the rendering sink. The trace file is
+   written even when the run exits non-zero (a failing gate is exactly
+   when the trace is wanted) and on SIGINT-style exits via at_exit-free
+   Fun.protect. *)
+let with_trace trace f =
+  match trace with
+  | None -> f (fun (_ : Pacstack_campaign.Progress.event) -> ())
+  | Some path ->
+    Obs.reset ();
+    Obs.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.Sink.write_file path;
+        Obs.reset ();
+        Printf.eprintf "wrote trace %s\n%!" path)
+      (fun () -> f (Obs.Campaign_hooks.progress_sink ()))
+
 (* --- campaign: the parallel experiment engine ----------------------------- *)
 
 let campaign_cmd =
@@ -199,7 +231,7 @@ let campaign_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
   in
-  let action name workers seed resume json_out quiet =
+  let action name workers seed resume json_out trace quiet =
     with_campaign_signals @@ fun () ->
     if name = "list" then begin
       List.iter
@@ -220,9 +252,11 @@ let campaign_cmd =
           1
         end
         else begin
-          let progress =
+          with_trace trace @@ fun obs ->
+          let render =
             if quiet then Progress.null else Progress.formatter Format.err_formatter
           in
+          let progress e = obs e; render e in
           let seed = Option.value seed ~default:entry.Plans.default_seed in
           let json =
             entry.Plans.execute ~workers ~seed ~checkpoint:resume ~progress
@@ -242,7 +276,7 @@ let campaign_cmd =
        ~doc:
          "Run an experiment campaign on a parallel worker pool with deterministic sharding, \
           checkpoint/resume and progress events.")
-    Term.(const action $ name_arg $ workers $ seed $ resume $ json_out $ quiet)
+    Term.(const action $ name_arg $ workers $ seed $ resume $ json_out $ trace_arg $ quiet)
 
 (* --- fuzz: differential fuzzing against the reference interpreter -------- *)
 
@@ -274,17 +308,19 @@ let fuzz_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
   in
-  let action seeds workers seed scheme no_peephole quiet =
+  let action seeds workers seed scheme no_peephole trace quiet =
     with_campaign_signals @@ fun () ->
     if seeds < 1 then begin
       Printf.eprintf "pacstack: --seeds must be >= 1\n";
       1
     end
     else begin
+      with_trace trace @@ fun obs ->
       let workers = if workers = 0 then Pool.default_workers () else workers in
-      let progress =
+      let render =
         if quiet then Progress.null else Progress.formatter Format.err_formatter
       in
+      let progress e = obs e; render e in
       let schemes = Option.map (fun s -> [ s ]) scheme in
       let optimize = if no_peephole then Some [ false ] else None in
       let plan = Plans.fuzz_plan ?schemes ?optimize ~seeds ~seed () in
@@ -347,7 +383,7 @@ let fuzz_cmd =
          "Differentially fuzz the mini-C pipeline: random programs compiled under every \
           scheme, with and without the peephole optimizer, checked against the reference \
           interpreter. Exits 1 if any divergence is found, with a shrunk reproducer.")
-    Term.(const action $ seeds $ workers $ seed $ scheme $ no_peephole $ quiet)
+    Term.(const action $ seeds $ workers $ seed $ scheme $ no_peephole $ trace_arg $ quiet)
 
 (* --- inject: deterministic fault injection ------------------------------- *)
 
@@ -402,7 +438,7 @@ let inject_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
   in
-  let action faults workers seed scheme pac_bits resume gate no_gate quiet =
+  let action faults workers seed scheme pac_bits resume gate no_gate trace quiet =
     with_campaign_signals @@ fun () ->
     if faults < 1 then begin
       Printf.eprintf "pacstack: --faults must be >= 1\n";
@@ -413,10 +449,12 @@ let inject_cmd =
       1
     end
     else begin
+      with_trace trace @@ fun obs ->
       let workers = if workers = 0 then Pool.default_workers () else workers in
-      let progress =
+      let render =
         if quiet then Progress.null else Progress.formatter Format.err_formatter
       in
+      let progress e = obs e; render e in
       let schemes = Option.map (fun s -> [ s ]) scheme in
       let plan = Plans.inject_plan ?schemes ~pac_bits ~faults ~seed () in
       let outcome =
@@ -474,7 +512,35 @@ let inject_cmd =
           the gated scheme.")
     Term.(
       const action $ faults $ workers $ seed $ scheme $ pac_bits $ resume $ gate $ no_gate
-      $ quiet)
+      $ trace_arg $ quiet)
+
+(* --- metrics: the lib/obs observability sampler --------------------------- *)
+
+let metrics_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the collected metrics and trace events to $(docv) as JSON lines.")
+  in
+  let action scheme out =
+    Report.observability ~scheme Format.std_formatter;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Obs.Sink.write_file path;
+      Printf.printf "wrote %s\n" path);
+    Obs.reset ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Enable lib/obs, run a small sampler through every instrumented layer (server \
+          workload under the chosen scheme, fuzzer, fault injector) and print the metrics \
+          registry plus trace summary.")
+    Term.(const action $ scheme_arg $ out)
 
 (* --- disasm: show what the loader put in the executable pages ----------- *)
 
@@ -560,6 +626,7 @@ let cmds =
     inject_cmd;
     bench_cmd;
     confirm_cmd;
+    metrics_cmd;
     disasm_cmd;
     export_cmd;
     campaign_cmd;

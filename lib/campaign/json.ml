@@ -29,7 +29,11 @@ let rec emit buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
-    if Float.is_integer f && Float.abs f < 1e15 then
+    (* JSON has no nan/inf literal; [%.17g] would print one and the
+       resulting document would not parse (not even by [parse] below).
+       Non-finite floats degrade to null, like most JSON encoders. *)
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Buffer.add_string buf (Printf.sprintf "%.1f" f)
     else Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s -> escape buf s

@@ -15,7 +15,11 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Compact one-line rendering (canonical for checkpoint lines). *)
+(** Compact one-line rendering (canonical for checkpoint lines).
+    Non-finite [Float]s (nan, ±infinity) render as [null] — JSON has no
+    literal for them, and anything else would produce a document that
+    {!parse} itself rejects. The encode→decode round trip is therefore
+    lossy exactly there: [Float nan] comes back as [Null]. *)
 
 val pp : Format.formatter -> t -> unit
 

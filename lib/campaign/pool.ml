@@ -4,12 +4,20 @@ type 'a outcome = Ok of 'a | Crashed of exn * string
 
 exception Task_failed of { task : int; exn : exn; backtrace : string }
 
+exception Missing_result of { task : int }
+
 let () =
   Printexc.register_printer (function
     | Task_failed { task; exn; backtrace } ->
       Some
         (Printf.sprintf "Pool.Task_failed(task %d): %s%s" task (Printexc.to_string exn)
            (if backtrace = "" then "" else "\n" ^ backtrace))
+    | Missing_result { task } ->
+      Some
+        (Printf.sprintf
+           "Pool.Missing_result(task %d): the work-stealing counter claimed the \
+            task but no worker filled its slot"
+           task)
     | _ -> None)
 
 type 'a slot = Empty | Filled of 'a outcome
@@ -45,7 +53,16 @@ let run_outcomes ~workers ~tasks f =
     let spawned = Array.init (min workers tasks - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join spawned;
-    Array.map (function Filled o -> o | Empty -> assert false) results
+    (* Every slot must be Filled once the joins return. If that
+       invariant ever breaks, surface it as a per-task Crashed outcome
+       naming the slot — the campaign layer then retries/quarantines
+       that shard — instead of an assert that would kill the whole
+       join with no context. *)
+    Array.mapi
+      (fun i -> function
+        | Filled o -> o
+        | Empty -> Crashed (Missing_result { task = i }, ""))
+      results
   end
 
 let run ~workers ~tasks f =

@@ -21,6 +21,14 @@ exception Task_failed of { task : int; exn : exn; backtrace : string }
 (** Raised by {!run}: the lowest-index crashed task, with the failing
     task's index and captured backtrace attached. *)
 
+exception Missing_result of { task : int }
+(** A task slot was still empty after every worker domain joined — an
+    engine invariant violation, not a task failure. Never raised:
+    {!run_outcomes} reports it as that task's [Crashed] outcome (so the
+    campaign layer retries/quarantines the shard), and {!run} in turn
+    wraps it in {!Task_failed}. The registered printer names the task
+    index. *)
+
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], the sensible [--workers] default
     for CPU-bound campaigns. *)

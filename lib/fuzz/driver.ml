@@ -57,21 +57,40 @@ let failure_of_divergence ~seed (d : Oracle.divergence) =
     actual = Trace.to_string d.actual;
   }
 
+module Obs = Pacstack_obs.Obs
+
+(* One guarded call per seed; the verdict trace event is keyed by the
+   seed index, which campaign sharding assigns to exactly one worker —
+   the property the deterministic trace merge relies on. *)
+let obs_seed i verdict (s : stats) =
+  if Obs.enabled () then begin
+    Obs.Metrics.incr "fuzz.programs";
+    Obs.Metrics.incr ~by:s.runs "fuzz.runs";
+    Obs.Metrics.incr ~by:s.skipped "fuzz.skipped";
+    Obs.Metrics.incr ~by:s.crashes "fuzz.crashes";
+    Obs.Metrics.incr ~by:(List.length s.failures) "fuzz.divergences";
+    Obs.Metrics.incr ("fuzz.verdict." ^ verdict);
+    Obs.Trace.emit ~key:i "fuzz.seed"
+      [ ("verdict", Obs.Json.String verdict); ("runs", Obs.Json.Int s.runs) ]
+  end;
+  s
+
 let run_seed cfg ~campaign_seed i : stats =
   match
     let p = program_of_seed ~campaign_seed i in
     Oracle.check cfg p
   with
-  | Oracle.Agree runs -> { empty with programs = 1; runs }
-  | Oracle.Skipped _ -> { empty with programs = 1; skipped = 1 }
+  | Oracle.Agree runs -> obs_seed i "agree" { empty with programs = 1; runs }
+  | Oracle.Skipped _ -> obs_seed i "skip" { empty with programs = 1; skipped = 1 }
   | Oracle.Disagree ds ->
+    obs_seed i "divergence"
       {
         empty with
         programs = 1;
         runs = List.length ds;
         failures = List.map (failure_of_divergence ~seed:i) ds;
       }
-  | exception _ -> { empty with programs = 1; crashes = 1 }
+  | exception _ -> obs_seed i "crash" { empty with programs = 1; crashes = 1 }
 
 (* Fuzz the half-open seed range [lo, hi). *)
 let run_range cfg ~campaign_seed ~lo ~hi : stats =

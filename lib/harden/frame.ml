@@ -1,6 +1,7 @@
 module Instr = Pacstack_isa.Instr
 module Reg = Pacstack_isa.Reg
 module Cond = Pacstack_isa.Cond
+module Obs = Pacstack_obs.Obs
 
 type traits = { is_leaf : bool; has_arrays : bool; locals_bytes : int }
 
@@ -95,7 +96,31 @@ let pacstack_epilogue ~masked =
   @ (if masked then mask_apply else [])
   @ [ Instr.Autia (Reg.lr, x28); Instr.Ret Reg.lr ]
 
+(* Counts the PA instrumentation a pass emits (compile-time events, not
+   executions — the machine counts those): [harden.emit.pac]/[.aut] per
+   scheme, and [.chain_link] for the ACS link operations whose modifier
+   is the chain register. *)
+let obs_count_emitted scheme instrs =
+  if Obs.enabled () then begin
+    let label = "{scheme=" ^ Scheme.to_string scheme ^ "}" in
+    List.iter
+      (function
+        | Instr.Pacia (_, rn) ->
+          Obs.Metrics.incr ("harden.emit.pac" ^ label);
+          if rn = x28 then Obs.Metrics.incr ("harden.emit.chain_link" ^ label)
+        | Instr.Paciasp -> Obs.Metrics.incr ("harden.emit.pac" ^ label)
+        | Instr.Autia (_, rn) ->
+          Obs.Metrics.incr ("harden.emit.aut" ^ label);
+          if rn = x28 then Obs.Metrics.incr ("harden.emit.chain_link" ^ label)
+        | Instr.Autiasp | Instr.Retaa -> Obs.Metrics.incr ("harden.emit.aut" ^ label)
+        | _ -> ())
+      instrs
+  end;
+  instrs
+
 let prologue scheme t =
+  obs_count_emitted scheme
+  @@
   if canary_active scheme t then
     push_record @ sub_sp (t.locals_bytes + 16) @ canary_store t
   else if t.is_leaf then sub_sp t.locals_bytes
@@ -108,6 +133,8 @@ let prologue scheme t =
     | Scheme.Pacstack { masked } -> pacstack_prologue ~masked @ sub_sp t.locals_bytes
 
 let epilogue scheme t =
+  obs_count_emitted scheme
+  @@
   if canary_active scheme t then
     canary_check t @ add_sp (t.locals_bytes + 16) @ pop_record @ [ Instr.Ret Reg.lr ]
   else if t.is_leaf then add_sp t.locals_bytes @ [ Instr.Ret Reg.lr ]

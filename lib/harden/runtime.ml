@@ -10,12 +10,23 @@ let longjmp_symbol = "longjmp"
 let pacstack_setjmp_symbol = "__pacstack_setjmp"
 let pacstack_longjmp_symbol = "__pacstack_longjmp"
 
-let setjmp_entry = function
+module Obs = Pacstack_obs.Obs
+
+let obs_entry kind scheme =
+  if Obs.enabled () then
+    Obs.Metrics.incr
+      (Printf.sprintf "harden.runtime.%s{scheme=%s}" kind (Scheme.to_string scheme))
+
+let setjmp_entry scheme =
+  obs_entry "setjmp" scheme;
+  match scheme with
   | Scheme.Pacstack _ -> pacstack_setjmp_symbol
   | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection | Scheme.Shadow_stack
     -> setjmp_symbol
 
-let longjmp_entry = function
+let longjmp_entry scheme =
+  obs_entry "longjmp" scheme;
+  match scheme with
   | Scheme.Pacstack _ -> pacstack_longjmp_symbol
   | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection | Scheme.Shadow_stack
     -> longjmp_symbol

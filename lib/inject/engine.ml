@@ -69,6 +69,27 @@ type config = {
 let default_config =
   { pac_bits = 4; fuel = 10_000_000; schemes = Scheme.all; tamper = None }
 
+module Obs = Pacstack_obs.Obs
+
+(* [Signal_frame]/[Reload_window] faults are routed by [run_one] to
+   their structured replays and must never reach the generic
+   xor-a-slot injector. If a future site is added to [Fault.site]
+   without a dispatch arm, the worker domain's crash should say which
+   fault hit the hole — a bare [assert false] here used to cost the
+   whole shard its context. *)
+exception Misrouted_site of { index : int; site : Fault.site }
+
+let () =
+  Printexc.register_printer (function
+    | Misrouted_site { index; site } ->
+      Some
+        (Printf.sprintf
+           "Inject.Engine.Misrouted_site(fault %d, site %s): structured site \
+            reached the generic injector; run_one must dispatch it"
+           index
+           (Fault.site_to_string site))
+    | _ -> None)
+
 type classification = Detected of { cause : string; latency : int } | Benign | Silent
 
 let classification_to_string = function
@@ -147,17 +168,26 @@ let apply_site cfg (spec : Fault.spec) scheme m =
     | Fault.Shadow_slot -> xor_mem (Int64.sub (Machine.get m Reg.shadow) 8L) spec.flip
     | Fault.Pac_bits ->
       xor_mem (control_slot_addr scheme m) (pac_pattern (Machine.config m) spec.flip)
-    | Fault.Signal_frame | Fault.Reload_window -> assert false)
+    | Fault.Signal_frame | Fault.Reload_window ->
+      raise (Misrouted_site { index = spec.index; site = spec.site }))
 
-let reference cfg compiled keys_rng =
+(* Machine metrics from injection runs are attributed to the scheme
+   under test; labelling is itself obs-gated so the disabled path stays
+   allocation-free. *)
+let obs_label scheme m =
+  if Obs.enabled () then Machine.set_obs_label m (Scheme.to_string scheme)
+
+let reference cfg scheme compiled keys_rng =
   let m = Machine.load ~cfg:(machine_cfg cfg) ~rng:(Rng.copy keys_rng) compiled in
+  obs_label scheme m;
   let outcome = Machine.run ~fuel:cfg.fuel m in
   (trace_of m outcome, max 1 (Machine.instructions_retired m))
 
 let run_generic cfg (spec : Fault.spec) scheme compiled keys_rng =
-  let ref_trace, total = reference cfg compiled keys_rng in
+  let ref_trace, total = reference cfg scheme compiled keys_rng in
   let trigger = max 1 (int_of_float (spec.trigger *. float_of_int total)) in
   let m = Machine.load ~cfg:(machine_cfg cfg) ~rng:(Rng.copy keys_rng) compiled in
+  obs_label scheme m;
   match
     Machine.run_until ~fuel:cfg.fuel m ~stop:(fun m ->
         Machine.instructions_retired m >= trigger)
@@ -225,8 +255,9 @@ let blind_pair (spec : Fault.spec) =
   (x, y)
 
 let run_window cfg (spec : Fault.spec) scheme compiled keys_rng =
-  let ref_trace, _ = reference cfg compiled keys_rng in
+  let ref_trace, _ = reference cfg scheme compiled keys_rng in
   let m = Machine.load ~cfg:(machine_cfg cfg) ~rng:(Rng.copy keys_rng) compiled in
+  obs_label scheme m;
   let paths = Victim.paths in
   let handles = Array.make paths 0L in
   let w1s = Array.make paths 0L in
@@ -291,7 +322,9 @@ let run_signal cfg (spec : Fault.spec) scheme keys_rng =
   let boot rng =
     let k = Kernel.create ~signal_policy:policy rng in
     let p = Kernel.boot k compiled in
-    (k, p, Kernel.machine p)
+    let m = Kernel.machine p in
+    obs_label scheme m;
+    (k, p, m)
   in
   (* size the trigger off a delivery-free run, so reference and injected
      runs both deliver at the same retired-instruction point *)
@@ -344,14 +377,40 @@ let run_one cfg (spec : Fault.spec) scheme keys_rng =
   | Fault.Pac_bits ->
     run_generic cfg spec scheme (Compile.compile ~scheme (Victim.program ())) keys_rng
 
+(* One trace event per fault, keyed by its index — campaign sharding
+   hands each index to exactly one worker, so the merged trace is
+   deterministic at any worker count. *)
+let obs_fault (spec : Fault.spec) results =
+  if Obs.enabled () then begin
+    Obs.Metrics.incr "inject.faults";
+    List.iter
+      (fun r ->
+        Obs.Metrics.incr
+          (Printf.sprintf "inject.%s{scheme=%s}"
+             (classification_to_string r.classification)
+             (Scheme.to_string r.scheme)))
+      results;
+    Obs.Trace.emit ~key:spec.Fault.index "inject.fault"
+      [ ("site", Obs.Json.String (Fault.site_to_string spec.Fault.site));
+        ( "classes",
+          Obs.Json.List
+            (List.map
+               (fun r ->
+                 Obs.Json.String (classification_to_string r.classification))
+               results) )
+      ]
+  end;
+  results
+
 let run_fault cfg ~campaign_seed index =
   let spec = Fault.derive ~campaign_seed index in
   let keys_rng = Fault.rng ~campaign_seed index in
-  List.map
-    (fun scheme ->
-      Watchdog.tick ();
-      { spec; scheme; classification = run_one cfg spec scheme (Rng.copy keys_rng) })
-    cfg.schemes
+  obs_fault spec
+    (List.map
+       (fun scheme ->
+         Watchdog.tick ();
+         { spec; scheme; classification = run_one cfg spec scheme (Rng.copy keys_rng) })
+       cfg.schemes)
 
 (* ------------------------------------------------------------------ *)
 (* Mergeable campaign statistics                                       *)

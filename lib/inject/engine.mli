@@ -22,6 +22,14 @@ type config = {
 val default_config : config
 (** [pac_bits = 4], default fuel, all six schemes, no tamper. *)
 
+exception Misrouted_site of { index : int; site : Fault.site }
+(** A structured site ([Signal_frame]/[Reload_window]) reached the
+    generic xor-a-slot injector instead of its dedicated replay — a
+    dispatch bug, not a property of the fault. The registered printer
+    names the fault index and site, so a worker crash surfaces as a
+    [Pool] [Crashed] outcome that identifies the culprit instead of
+    [Assert_failure]. *)
+
 type classification =
   | Detected of { cause : string; latency : int }
       (** trapped (or runtime abort: canary 134, sigreturn kill 139);

@@ -7,6 +7,7 @@ module Pointer = Pacstack_pa.Pointer
 module Reg = Pacstack_isa.Reg
 module Cond = Pacstack_isa.Cond
 module Instr = Pacstack_isa.Instr
+module Obs = Pacstack_obs.Obs
 
 type t = {
   cfg : Config.t;
@@ -26,6 +27,17 @@ type t = {
   hooks : (string, t -> unit) Hashtbl.t;
   mutable on_syscall : t -> int -> unit;
   mutable out : int64 list;  (* newest first *)
+  (* Observability (lib/obs). Aggregates accumulate in plain fields and
+     are flushed as metric deltas once per [run]/[run_until] exit, so
+     the per-step cost with obs disabled is one guarded branch on the
+     (rare) PA instructions and nothing anywhere else. [obs_label] is a
+     pre-rendered "{scheme=...}" suffix or "". *)
+  mutable obs_label : string;
+  obs_pac : int array;  (* per-kind PA-instruction counts, see obs_pac_names *)
+  mutable obs_mark_instret : int;
+  mutable obs_mark_memops : int;
+  mutable obs_mark_dmiss : int;
+  mutable obs_mark_xmiss : int;
 }
 
 let canary_symbol = "__stack_chk_guard"
@@ -121,6 +133,12 @@ let load ?(cfg = Config.default) ?keys ?rng program =
       hooks = Hashtbl.create 4;
       on_syscall = default_syscall;
       out = [];
+      obs_label = "";
+      obs_pac = Array.make 9 0;
+      obs_mark_instret = 0;
+      obs_mark_memops = 0;
+      obs_mark_dmiss = 0;
+      obs_mark_xmiss = 0;
     }
   in
   (match Image.symbol image canary_symbol with
@@ -137,6 +155,10 @@ let clone t =
     xregs = Array.copy t.xregs;
     hooks = t.hooks;
     out = t.out;
+    obs_pac = Array.copy t.obs_pac;
+    (* Memory.copy restarts its TLB miss counters at zero. *)
+    obs_mark_dmiss = 0;
+    obs_mark_xmiss = 0;
   }
 
 (* --- address translation checks ------------------------------------- *)
@@ -300,6 +322,60 @@ let exec t instr =
     | Some f -> f t
     | None -> ())
 
+(* --- observability ---------------------------------------------------- *)
+
+let set_obs_label t scheme =
+  t.obs_label <- (if scheme = "" then "" else "{scheme=" ^ scheme ^ "}")
+
+let obs_pac_names =
+  [| "pacia"; "autia"; "paciasp"; "autiasp"; "retaa"; "pacga"; "xpaci";
+     "chain.pac"; "chain.aut" |]
+
+(* Only reached behind an [Obs.enabled] guard, and only on PA
+   instructions; [chain.*] are the ACS link operations — pacia/autia
+   with the chain register CR as modifier. *)
+let obs_record_pac t instr =
+  let cell =
+    match instr with
+    | Instr.Pacia (_, rn) -> if rn = Reg.cr then 7 else 0
+    | Instr.Autia (_, rn) -> if rn = Reg.cr then 8 else 1
+    | Instr.Paciasp -> 2
+    | Instr.Autiasp -> 3
+    | Instr.Retaa -> 4
+    | Instr.Pacga _ -> 5
+    | Instr.Xpaci _ -> 6
+    | _ -> -1
+  in
+  if cell >= 0 then t.obs_pac.(cell) <- t.obs_pac.(cell) + 1
+
+let obs_publish t trap =
+  let label = t.obs_label in
+  let c name by = if by > 0 then Obs.Metrics.incr ~by (name ^ label) in
+  let dm, xm = Memory.tlb_misses t.mem in
+  let instret_d = t.instret - t.obs_mark_instret in
+  let memops_d = t.mem_ops - t.obs_mark_memops in
+  let dmiss_d = dm - t.obs_mark_dmiss in
+  let xmiss_d = xm - t.obs_mark_xmiss in
+  c "machine.instructions" instret_d;
+  c "machine.tlb.data_miss" dmiss_d;
+  c "machine.tlb.data_hit" (max 0 (memops_d - dmiss_d));
+  c "machine.tlb.exec_miss" xmiss_d;
+  c "machine.tlb.exec_hit" (max 0 (instret_d - xmiss_d));
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        c ("machine.pac." ^ obs_pac_names.(i)) n;
+        t.obs_pac.(i) <- 0
+      end)
+    t.obs_pac;
+  (match trap with
+  | Some f -> Obs.Metrics.incr ("machine.trap." ^ Trap.kind f ^ label)
+  | None -> ());
+  t.obs_mark_instret <- t.instret;
+  t.obs_mark_memops <- t.mem_ops;
+  t.obs_mark_dmiss <- dm;
+  t.obs_mark_xmiss <- xm
+
 let step t =
   match t.halted with
   | Some _ -> ()
@@ -312,6 +388,9 @@ let step t =
     (match instr with
     | Instr.Ldr _ | Instr.Str _ | Instr.Ldrb _ | Instr.Strb _ -> t.mem_ops <- t.mem_ops + 1
     | Instr.Ldp _ | Instr.Stp _ -> t.mem_ops <- t.mem_ops + 2
+    | Instr.Pacia _ | Instr.Autia _ | Instr.Paciasp | Instr.Autiasp
+    | Instr.Retaa | Instr.Pacga _ | Instr.Xpaci _ ->
+      if Obs.enabled () then obs_record_pac t instr
     | _ -> ());
     (match t.tracer with Some f -> f t instr | None -> ());
     exec t instr
@@ -331,7 +410,10 @@ let run ?(fuel = 10_000_000) t =
         go (budget - 1)
       end
   in
-  try go fuel with Trap.Fault f -> Faulted f
+  let outcome = try go fuel with Trap.Fault f -> Faulted f in
+  if Obs.enabled () then
+    obs_publish t (match outcome with Faulted f -> Some f | Halted _ | Out_of_fuel -> None);
+  outcome
 
 (* Like [run], but stops short when [stop] becomes true — the stepping
    primitive fault-injection uses to reach a trigger point mid-run
@@ -348,7 +430,14 @@ let run_until ?(fuel = 10_000_000) t ~stop =
         go (budget - 1)
       end
   in
-  try go fuel with Trap.Fault f -> Some (Faulted f)
+  let outcome = try go fuel with Trap.Fault f -> Some (Faulted f) in
+  (match outcome with
+  | Some oc when Obs.enabled () ->
+    (* [None] means paused at a trigger point: the counters flush when
+       the caller finishes the run. *)
+    obs_publish t (match oc with Faulted f -> Some f | Halted _ | Out_of_fuel -> None)
+  | _ -> ());
+  outcome
 
 let pp_state fmt t =
   Format.fprintf fmt "pc=%a sp=%a lr=%a cr=%a x0=%a cycles=%d" Word64.pp t.pc Word64.pp t.sp

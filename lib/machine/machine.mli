@@ -66,6 +66,14 @@ val set_tracer : t -> (t -> Pacstack_isa.Instr.t -> unit) option -> unit
 (** Per-instruction observer invoked before execution (PC still points at
     the instruction). Used by {!Profile}; [None] removes it. *)
 
+val set_obs_label : t -> string -> unit
+(** Attribution label for the lib/obs metrics this machine publishes at
+    the end of each [run]/[run_until] (instructions, TLB hits/misses,
+    PA operations by kind, traps by kind): a non-empty [scheme] renders
+    metric names as [machine.*{scheme=<scheme>}]; [""] (the default)
+    removes the suffix. A no-op in effect unless [Obs.enable] was
+    called — with obs disabled the machine publishes nothing. *)
+
 (** {1 Hooks and syscalls} *)
 
 val attach_hook : t -> string -> (t -> unit) -> unit

@@ -35,6 +35,11 @@ type t = {
   mutable tlb_d_page : page;
   mutable tlb_x_idx : int64;
   mutable tlb_x_page : page;
+  (* Refill counters for observability. Only the (already slow) miss
+     path pays them — hit counts are reconstructed by the machine from
+     mem_ops/instret — so the TLB hit path stays untouched. *)
+  mutable tlb_d_miss : int;
+  mutable tlb_x_miss : int;
 }
 
 let no_page = { data = zero_page; perm = perm_none }
@@ -46,6 +51,8 @@ let create () =
     tlb_d_page = no_page;
     tlb_x_idx = -1L;
     tlb_x_page = no_page;
+    tlb_d_miss = 0;
+    tlb_x_miss = 0;
   }
 
 let invalidate_tlb t =
@@ -111,6 +118,7 @@ let page_for t addr access =
   else
     match Hashtbl.find_opt t.pages idx with
     | Some p ->
+      t.tlb_d_miss <- t.tlb_d_miss + 1;
       t.tlb_d_idx <- idx;
       t.tlb_d_page <- p;
       p
@@ -196,6 +204,7 @@ let check_exec t addr =
     else
       match Hashtbl.find_opt t.pages idx with
       | Some p ->
+        t.tlb_x_miss <- t.tlb_x_miss + 1;
         t.tlb_x_idx <- idx;
         t.tlb_x_page <- p;
         p
@@ -250,7 +259,11 @@ let copy t =
     tlb_d_page = no_page;
     tlb_x_idx = -1L;
     tlb_x_page = no_page;
+    tlb_d_miss = 0;
+    tlb_x_miss = 0;
   }
+
+let tlb_misses t = (t.tlb_d_miss, t.tlb_x_miss)
 
 let mapped_ranges t =
   let idxs = Hashtbl.fold (fun k p acc -> (k, p.perm) :: acc) t.pages [] in

@@ -62,7 +62,13 @@ val poke64 : t -> Pacstack_util.Word64.t -> Pacstack_util.Word64.t -> bool
     writable pages (W⊕X still binds the adversary); returns success. *)
 
 val copy : t -> t
-(** Deep copy (used by [fork]). *)
+(** Deep copy (used by [fork]). TLB miss counters restart at zero. *)
+
+val tlb_misses : t -> int * int
+(** [(data, exec)] one-entry-TLB refills since creation. Only the miss
+    path counts (it already pays a hashtable probe); hit totals are
+    derived by the machine as accesses minus misses, so the TLB hit
+    path carries no instrumentation cost. *)
 
 val mapped_ranges : t -> (Pacstack_util.Word64.t * int * perm) list
 (** Sorted list of (start, size, perm) for each maximal mapped run. *)

@@ -25,6 +25,13 @@ let pp fmt = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+let kind = function
+  | Unmapped _ -> "unmapped"
+  | Permission _ -> "permission"
+  | Translation _ -> "translation"
+  | Cfi_violation _ -> "cfi"
+  | Undefined _ -> "undefined"
+
 let equal a b =
   match a, b with
   | Unmapped (x, p), Unmapped (y, q)

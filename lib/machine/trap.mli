@@ -24,4 +24,8 @@ exception Fault of t
 val pp_access : Format.formatter -> access -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Constructor name only ("unmapped", "permission", "translation",
+    "cfi", "undefined") — a stable label for trap-by-kind metrics. *)
+val kind : t -> string
 val equal : t -> t -> bool

@@ -394,6 +394,33 @@ let injection ?(seed = 7L) ?(workers = 1) ?(faults = 120) ?progress fmt =
   | [] -> ()
   | qs -> Format.fprintf fmt "quarantined shards: %d@." (List.length qs)
 
+(* --- observability ------------------------------------------------------ *)
+
+module Obs = Pacstack_obs.Obs
+
+let observability ?(scheme = Scheme.pacstack) fmt =
+  section fmt "Observability: lib/obs metrics from an instrumented sampler";
+  Obs.enable ();
+  Obs.reset ();
+  (* A small slice of every instrumented layer: one server measurement
+     (machine + harden + server counters under [scheme]), two fuzz seeds
+     (12 oracle runs each), one injected fault under all six schemes. *)
+  ignore (Server.measure ~scheme ~workers:4 ~variants:2 ());
+  ignore
+    (Pacstack_fuzz.Driver.run_range Pacstack_fuzz.Oracle.default_config
+       ~campaign_seed:1L ~lo:0 ~hi:2);
+  ignore
+    (Pacstack_inject.Engine.run_fault Pacstack_inject.Engine.default_config
+       ~campaign_seed:1L 0);
+  Obs.disable ();
+  Format.fprintf fmt
+    "sampler: server x1 (%s, 4 workers), fuzz seeds x2, faults x1 (all schemes)@.@."
+    (Scheme.to_string scheme);
+  Obs.Metrics.pp_snapshot fmt (Obs.Metrics.snapshot ());
+  Format.fprintf fmt "trace events: %d (dropped %d)@."
+    (List.length (Obs.Trace.events ()))
+    (Obs.Trace.dropped ())
+
 let all ?(seed = 1L) ?(workers = 1) fmt =
   table1 ~seed ~workers fmt;
   table2_and_figure5 fmt;

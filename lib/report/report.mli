@@ -76,4 +76,13 @@ val injection :
 val confirm : Format.formatter -> unit
 (** §7.3: the compatibility suite across all schemes. *)
 
+val observability :
+  ?scheme:Pacstack_harden.Scheme.t -> Format.formatter -> unit
+(** Enables lib/obs, runs a small sampler through every instrumented
+    layer (a server measurement under [scheme] — default pacstack — two
+    fuzz seeds and one injected fault under all schemes), then prints
+    the metrics registry as a table plus the trace-event count. Leaves
+    obs disabled; recorded metrics/events stay readable (e.g. for a
+    [--trace] export) until [Obs.reset]. Backs [pacstack_cli metrics]. *)
+
 val all : ?seed:int64 -> ?workers:int -> Format.formatter -> unit

@@ -25,6 +25,14 @@ let stddev xs =
 let sorted xs = List.sort compare xs
 
 let percentile xs p =
+  (* Validate the rank before touching the data: an out-of-range [p]
+     used to compute an out-of-range [rank] and die on array bounds,
+     and a NaN [p] (or element — [compare] orders NaN below everything)
+     produced garbage silently. *)
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Stats.percentile: p = %g not in [0, 100]" p);
+  if List.exists Float.is_nan xs then
+    invalid_arg "Stats.percentile: NaN element";
   match sorted xs with
   | [] -> invalid_arg "Stats.percentile"
   | s ->

@@ -14,7 +14,9 @@ val stddev : float list -> float
 val median : float list -> float
 
 val percentile : float list -> float -> float
-(** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
+(** [percentile xs p] with [p] in [0, 100], linear interpolation.
+    Raises [Invalid_argument] if [xs] is empty, if [p] is NaN or outside
+    [0, 100], or if any element is NaN (NaN has no rank). *)
 
 val binomial_ci : successes:int -> trials:int -> float * float
 (** 95 % Wilson score interval for a binomial proportion. *)

@@ -97,11 +97,25 @@ let clock_hz = 445.0e6
 let scaling = function 8 -> 1.08 | _ -> 1.0
 let contention = function 8 -> 43.0 | _ -> 1.0
 
+module Obs = Pacstack_obs.Obs
+
+let obs_cycles_histogram = "server.cycles_per_request"
+
 let run_request ~scheme ~variant =
   let program = Compile.compile ~scheme (handshake_program ~variant) in
   let m = Machine.load program in
+  if Obs.enabled () then begin
+    Obs.Metrics.incr "server.requests";
+    Machine.set_obs_label m (Scheme.to_string scheme)
+  end;
   match Machine.run ~fuel:10_000_000 m with
-  | Machine.Halted 0 -> (float_of_int (Machine.cycles m), float_of_int (Machine.memory_operations m))
+  | Machine.Halted 0 ->
+    let cycles = float_of_int (Machine.cycles m) in
+    if Obs.enabled () then begin
+      Obs.Metrics.register_histogram obs_cycles_histogram ~lo:0. ~hi:1e6 ~buckets:20;
+      Obs.Metrics.observe obs_cycles_histogram cycles
+    end;
+    (cycles, float_of_int (Machine.memory_operations m))
   | Machine.Halted c -> failwith (Printf.sprintf "server: exit %d" c)
   | Machine.Faulted f -> failwith ("server: fault: " ^ Trap.to_string f)
   | Machine.Out_of_fuel -> failwith "server: out of fuel"

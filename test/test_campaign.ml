@@ -55,6 +55,21 @@ let test_pool_rejects_bad_args () =
     (Invalid_argument "Pool.run_outcomes: workers < 1") (fun () ->
       ignore (Pool.run ~workers:0 ~tasks:1 (fun i -> i)))
 
+(* Regression (satellite fix): a worker dying between claiming a task and
+   filling its slot used to surface as [assert false] in join — an
+   anonymous Assert_failure pointing at pool.ml instead of at the task.
+   The empty slot now reports a typed error naming the task index, and
+   [run] wraps it in Task_failed like any other crash. *)
+let test_pool_missing_result_names_task () =
+  let msg = Printexc.to_string (Pool.Missing_result { task = 17 }) in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) ("names the task: " ^ msg) true (contains "task 17");
+  Alcotest.(check bool) ("says what went wrong: " ^ msg) true (contains "no worker filled")
+
 (* --- Json --------------------------------------------------------------- *)
 
 let json = Alcotest.testable Json.pp ( = )
@@ -87,6 +102,67 @@ let test_json_parse_errors () =
       | Ok v -> Alcotest.failf "%S unexpectedly parsed to %s" s (Json.to_string v)
       | Error _ -> ())
     bad
+
+(* Regression (satellite fix): [Float nan] and [Float ±infinity] used to
+   print as "nan" / "inf" / "-inf", which no JSON parser — including this
+   one — accepts; a campaign whose stats produced a single NaN wrote an
+   unreadable results file. They now encode as null. *)
+let test_json_nonfinite_encodes_null () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "bare non-finite" "null" (Json.to_string (Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check string) "nested non-finite" "{\"v\":[1,null]}"
+    (Json.to_string (Json.Obj [ ("v", Json.List [ Json.Int 1; Json.Float Float.nan ]) ]))
+
+(* Property: every encoding parses back, and parse ∘ to_string is the
+   identity up to the documented lossy case (non-finite floats read back
+   as Null). The generator deliberately mixes nan/±inf into the floats. *)
+let json_gen =
+  let open QCheck2.Gen in
+  let any_float =
+    oneof
+      [
+        float;
+        oneofl [ Float.nan; Float.infinity; Float.neg_infinity; 0.25; -0.0; 1e308; 3.0 ];
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (1 -- 4) in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Int n) int;
+        map (fun f -> Json.Float f) any_float;
+        map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 8));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun xs -> Json.List xs) (list_size (0 -- 4) (self (depth - 1)));
+            map (fun kvs -> Json.Obj kvs) (list_size (0 -- 4) (pair key (self (depth - 1))));
+          ])
+    3
+
+let rec scrub_nonfinite = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.List xs -> Json.List (List.map scrub_nonfinite xs)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, scrub_nonfinite v)) kvs)
+  | v -> v
+
+let prop_json_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"encode/decode roundtrip incl. nan and ±inf" ~count:500 json_gen
+       (fun v ->
+         match Json.parse (Json.to_string v) with
+         | Error e -> QCheck2.Test.fail_reportf "unparseable %S: %s" (Json.to_string v) e
+         | Ok parsed -> parsed = scrub_nonfinite v))
 
 let test_json_accessors () =
   let v = Json.Obj [ ("n", Json.Int 7); ("f", Json.Float 1.5); ("s", Json.String "x") ] in
@@ -381,10 +457,15 @@ let () =
           Alcotest.test_case "outcomes keep completed work" `Quick
             test_pool_outcomes_keep_completed_work;
           Alcotest.test_case "rejects bad args" `Quick test_pool_rejects_bad_args;
+          Alcotest.test_case "missing result names the task" `Quick
+            test_pool_missing_result_names_task;
         ] );
       ( "json",
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats encode as null" `Quick
+            test_json_nonfinite_encodes_null;
+          prop_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );

@@ -264,6 +264,26 @@ let test_planted_tamper_is_caught () =
   Alcotest.(check int) "every planted fault is silent" faults cell.Engine.silent;
   Alcotest.(check int) "gate finds reproducers" faults (List.length totals.Engine.silents)
 
+(* Regression (satellite fix): Signal_frame / Reload_window leaking into
+   the generic injector used to die on [assert false] — an anonymous
+   Assert_failure at engine.ml with no hint of which fault was misrouted.
+   The typed error names the fault index and site, and because it is an
+   ordinary exception the pool classifies it as a Crashed outcome
+   (quarantining the shard) instead of killing the whole campaign. *)
+let test_misrouted_site_names_culprit () =
+  let contains msg needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1)) in
+    go 0
+  in
+  let check site label =
+    let msg = Printexc.to_string (Engine.Misrouted_site { index = 42; site }) in
+    Alcotest.(check bool) ("names the fault: " ^ msg) true (contains msg "fault 42");
+    Alcotest.(check bool) ("names the site: " ^ msg) true (contains msg label)
+  in
+  check Fault.Signal_frame "signal-frame";
+  check Fault.Reload_window "reload-window"
+
 (* --- statistics ----------------------------------------------------------- *)
 
 let test_stats_json_roundtrip () =
@@ -306,6 +326,8 @@ let () =
           Alcotest.test_case "pacstack chain corruption" `Quick
             test_pacstack_chain_corruption_trap;
           Alcotest.test_case "shadow slot corruption" `Quick test_shadow_corruption_traps;
+          Alcotest.test_case "misrouted site names the culprit" `Quick
+            test_misrouted_site_names_culprit;
         ] );
       ( "campaign",
         [

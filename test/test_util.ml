@@ -216,6 +216,24 @@ let test_percentiles () =
   Alcotest.check feq "p0" 1.0 (Stats.percentile xs 0.0);
   Alcotest.check feq "p100" 4.0 (Stats.percentile xs 100.0)
 
+(* Regression: percentile used to accept any [p] — p=150 indexed past the
+   end of the sorted array and NaN propagated silently through reports. *)
+let test_percentile_validates_rank () =
+  let xs = [ 1.0; 2.0; 3.0 ] in
+  Alcotest.check feq "singleton ignores p" 42.0 (Stats.percentile [ 42.0 ] 99.0);
+  Alcotest.check_raises "p > 100"
+    (Invalid_argument "Stats.percentile: p = 150 not in [0, 100]") (fun () ->
+      ignore (Stats.percentile xs 150.0));
+  Alcotest.check_raises "p < 0"
+    (Invalid_argument "Stats.percentile: p = -1 not in [0, 100]") (fun () ->
+      ignore (Stats.percentile xs (-1.0)));
+  Alcotest.check_raises "NaN rank"
+    (Invalid_argument "Stats.percentile: p = nan not in [0, 100]") (fun () ->
+      ignore (Stats.percentile xs Float.nan));
+  Alcotest.check_raises "NaN element"
+    (Invalid_argument "Stats.percentile: NaN element") (fun () ->
+      ignore (Stats.percentile [ 1.0; Float.nan ] 50.0))
+
 let test_binomial_ci () =
   let lo, hi = Stats.binomial_ci ~successes:50 ~trials:100 in
   Alcotest.(check bool) "covers 0.5" true (lo < 0.5 && hi > 0.5);
@@ -286,6 +304,7 @@ let () =
           Alcotest.test_case "geometric mean" `Quick test_geomean;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile rank validation" `Quick test_percentile_validates_rank;
           Alcotest.test_case "binomial CI" `Quick test_binomial_ci;
           Alcotest.test_case "overhead" `Quick test_overhead;
           Alcotest.test_case "birthday closed forms" `Quick test_birthday;
