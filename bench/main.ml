@@ -1,14 +1,14 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (via Pacstack_report), runs one Bechamel
    micro-benchmark per table/figure plus primitive micro-benchmarks, and
-   measures the hot-path sections (MAC, machine step, loader, fuzz and
-   injection throughput) that BENCH_05.json records, plus the lib/obs
-   disabled-path overhead bound.
+   measures the hot-path sections (MAC, machine step, loader, fuzz,
+   injection and fleet throughput) that BENCH_06.json records, plus the
+   lib/obs disabled-path overhead bound.
 
    Modes:
      bench                 full run: report + bechamel + sections + scaling
      bench --quick         hot-path sections only (the CI perf-smoke job)
-     bench --json          also write the sections to BENCH_05.json
+     bench --json          also write the sections to BENCH_06.json
      bench --out FILE      like --json, to FILE
      bench --gate          check the generous throughput floors and the
                            obs overhead ceilings; exit 1 on miss *)
@@ -27,6 +27,8 @@ module Json = Pacstack_campaign.Json
 module Qarma64 = Pacstack_qarma.Qarma64
 module Prf = Pacstack_qarma.Prf
 module Obs = Pacstack_obs.Obs
+module Fleet = Pacstack_fleet.Fleet
+module Scheduler = Pacstack_fleet.Scheduler
 
 let ( .%[] ) tbl key = Hashtbl.find tbl key
 
@@ -122,7 +124,7 @@ let tests =
     [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac;
       test_machine; test_pool_dispatch; test_campaign_birthday; test_fuzz_seed ]
 
-(* --- hot-path sections: the BENCH_04.json payload ------------------------ *)
+(* --- hot-path sections: the BENCH_06.json payload ------------------------ *)
 
 type section = {
   sname : string;
@@ -211,8 +213,45 @@ let perf_sections () =
   let ti1, i1 = time_inject 1 in
   let _, i4 = traced (fun sink -> time_inject ~progress:sink 4) in
   if i1 <> i4 then failwith "bench: injection results differ across worker counts";
+  (* fleet: 1k open-loop connections against unprotected and pacstack;
+     ns per simulated request (service-cost calibration included), with
+     the same traced-4-worker identity check as fuzz and injection *)
+  let fleet_cfg =
+    {
+      Fleet.default with
+      Fleet.connections = 1000;
+      duration_s = 1.0;
+      schemes = [ Scheme.Unprotected; Scheme.pacstack ];
+    }
+  in
+  let time_fleet ?progress workers =
+    let t0 = Unix.gettimeofday () in
+    let o = Campaign.run ~workers ?progress (Fleet.plan fleet_cfg) in
+    (Unix.gettimeofday () -. t0, Fleet.tabulate fleet_cfg o)
+  in
+  let tfl1, fl1 = time_fleet 1 in
+  let _, fl4 = traced (fun sink -> time_fleet ~progress:sink 4) in
+  if fl1 <> fl4 then failwith "bench: fleet results differ across worker counts";
+  let fleet_requests =
+    List.fold_left (fun acc (r : Fleet.stats) -> acc + r.Fleet.completed) 0 fl1
+  in
   Format.printf
-    "fuzz and injection results identical at 1 worker vs traced 4 workers: true@.";
+    "fuzz, injection and fleet results identical at 1 worker vs traced 4 workers: true@.";
+  (* the fleet's event queue alone: one push + one pop per event on a
+     randomly-ordered 4k-event backlog *)
+  let sched_ns =
+    let n = 4096 in
+    let rng = Rng.create 3L in
+    let times = Array.init n (fun _ -> Rng.int rng 1_000_000) in
+    time_per_op ~iters:200 (fun () ->
+        let h = Scheduler.create () in
+        for i = 0 to n - 1 do
+          Scheduler.push h ~time:times.(i) ~tie:0 i
+        done;
+        let rec drain acc = match Scheduler.pop h with None -> acc | Some _ -> drain (acc + 1) in
+        drain 0)
+    /. float_of_int n
+  in
   [
     section "qarma_mac_reference" ref_ns;
     section ~before:ref_ns ~src:"reference oracle, this run" "qarma_mac_fast" fast_ns;
@@ -222,6 +261,8 @@ let perf_sections () =
       (tf1 *. 1e9 /. float_of_int fuzz_seeds);
     section ~before:seed_inject_ns ~src:seed_src "inject_fault"
       (ti1 *. 1e9 /. float_of_int faults);
+    section "scheduler_event" sched_ns;
+    section "fleet_request" (tfl1 *. 1e9 /. float_of_int (max 1 fleet_requests));
   ]
 
 let print_sections sections =
@@ -340,6 +381,10 @@ let gates sections obs =
       op = Floor; limit = 20.; value = (s "fuzz_program").ops_per_sec };
     { gname = "inject_rate"; metric = "injected faults per second";
       op = Floor; limit = 15.; value = (s "inject_fault").ops_per_sec };
+    { gname = "scheduler_rate"; metric = "fleet scheduler events per second";
+      op = Floor; limit = 500_000.; value = (s "scheduler_event").ops_per_sec };
+    { gname = "fleet_rate"; metric = "simulated fleet requests per second";
+      op = Floor; limit = 1_000.; value = (s "fleet_request").ops_per_sec };
     { gname = "obs_machine_overhead"; metric = "disabled obs overhead on machine step (%)";
       op = Ceiling; limit = 2.0; value = obs.machine_pct };
     { gname = "obs_fuzz_overhead"; metric = "disabled obs overhead on fuzz seed (%)";
@@ -480,7 +525,7 @@ let run_bechamel () =
 
 let () =
   let quick = ref false and json = ref false and gate = ref false in
-  let out = ref "BENCH_05.json" in
+  let out = ref "BENCH_06.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest

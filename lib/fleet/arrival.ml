@@ -1,0 +1,145 @@
+module Rng = Pacstack_util.Rng
+module Kernel = Pacstack_workloads.Server.Kernel
+
+type process =
+  | Poisson of { rate : float }
+  | Bursty of { calm_rate : float; burst_rate : float; calm_s : float; burst_s : float }
+  | Diurnal of { rate : float; amplitude : float; period_s : float }
+
+type size_mix = Fixed | Jittered | Heavy_tailed
+
+type t = { process : process; sizes : size_mix }
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Bursty { calm_rate; burst_rate; calm_s; burst_s } ->
+    (* time-weighted average over the two exponential sojourns *)
+    ((calm_rate *. calm_s) +. (burst_rate *. burst_s)) /. (calm_s +. burst_s)
+  | Diurnal { rate; _ } -> rate
+
+let presets =
+  [
+    ("poisson", { process = Poisson { rate = 2.0 }; sizes = Jittered });
+    ( "bursty",
+      {
+        process = Bursty { calm_rate = 1.0; burst_rate = 12.0; calm_s = 2.0; burst_s = 0.25 };
+        sizes = Jittered;
+      } );
+    ( "diurnal",
+      { process = Diurnal { rate = 2.0; amplitude = 0.8; period_s = 4.0 }; sizes = Jittered } );
+    ("heavy", { process = Poisson { rate = 2.0 }; sizes = Heavy_tailed });
+  ]
+
+let of_string name = List.assoc_opt name presets
+
+let to_string t =
+  match List.find_opt (fun (_, preset) -> preset = t) presets with
+  | Some (name, _) -> name
+  | None -> "custom"
+
+type request = { at_s : float; records : int; service_jitter : float }
+
+(* Burst-state bookkeeping for the MMPP: which state we are in and when
+   its exponential sojourn ends. Poisson and Diurnal leave it unused. *)
+type burst_state = { mutable in_burst : bool; mutable state_end_s : float }
+
+type gen = {
+  cfg : t;
+  rng : Rng.t;
+  mutable now_s : float;  (** time of the last arrival drawn *)
+  mutable exhausted : bool;
+  burst : burst_state;
+}
+
+let salt = 0x666C_6565_74L (* "fleet" *)
+
+let conn_rng ~seed ~conn =
+  Rng.split (Rng.create (Int64.logxor salt (Int64.add seed (Int64.of_int conn))))
+
+let start cfg ~seed ~conn =
+  let () =
+    match cfg.process with
+    | Poisson { rate } -> if rate <= 0.0 then invalid_arg "Arrival.start: rate <= 0"
+    | Bursty { calm_rate; burst_rate; calm_s; burst_s } ->
+      if calm_rate <= 0.0 || burst_rate <= 0.0 || calm_s <= 0.0 || burst_s <= 0.0 then
+        invalid_arg "Arrival.start: bursty parameters must be positive"
+    | Diurnal { rate; amplitude; period_s } ->
+      if rate <= 0.0 || period_s <= 0.0 || amplitude < 0.0 || amplitude > 1.0 then
+        invalid_arg "Arrival.start: bad diurnal parameters"
+  in
+  {
+    cfg;
+    rng = conn_rng ~seed ~conn;
+    now_s = 0.0;
+    exhausted = false;
+    burst = { in_burst = false; state_end_s = 0.0 };
+  }
+
+(* Exponential gap with mean [1/rate]; 1 - float is in (0, 1] so log is
+   finite. *)
+let exp_gap rng rate = -.log (1.0 -. Rng.float rng) /. rate
+
+(* One arrival of the MMPP from virtual time [t]: draw a gap at the
+   current state's rate; if it lands past the sojourn's end, move to the
+   boundary, switch state and redraw — exact by memorylessness. *)
+let rec bursty_gap rng burst ~calm_rate ~burst_rate ~calm_s ~burst_s t =
+  if t >= burst.state_end_s then begin
+    (* entering a fresh sojourn (also the initial state at t = 0) *)
+    if burst.state_end_s > 0.0 then burst.in_burst <- not burst.in_burst;
+    let mean = if burst.in_burst then burst_s else calm_s in
+    burst.state_end_s <- t +. exp_gap rng (1.0 /. mean);
+    bursty_gap rng burst ~calm_rate ~burst_rate ~calm_s ~burst_s t
+  end
+  else
+    let rate = if burst.in_burst then burst_rate else calm_rate in
+    let t' = t +. exp_gap rng rate in
+    if t' <= burst.state_end_s then t'
+    else bursty_gap rng burst ~calm_rate ~burst_rate ~calm_s ~burst_s burst.state_end_s
+
+(* Thinning for the time-varying diurnal rate: candidate arrivals at the
+   peak rate, each kept with probability rate(t)/peak. *)
+let rec diurnal_arrival rng ~rate ~amplitude ~period_s t =
+  let peak = rate *. (1.0 +. amplitude) in
+  let t' = t +. exp_gap rng peak in
+  let rate_at = rate *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t' /. period_s))) in
+  if Rng.float rng < rate_at /. peak then t'
+  else diurnal_arrival rng ~rate ~amplitude ~period_s t'
+
+let draw_arrival g =
+  match g.cfg.process with
+  | Poisson { rate } -> g.now_s +. exp_gap g.rng rate
+  | Bursty { calm_rate; burst_rate; calm_s; burst_s } ->
+    bursty_gap g.rng g.burst ~calm_rate ~burst_rate ~calm_s ~burst_s g.now_s
+  | Diurnal { rate; amplitude; period_s } ->
+    diurnal_arrival g.rng ~rate ~amplitude ~period_s g.now_s
+
+let draw_records g =
+  match g.cfg.sizes with
+  | Fixed -> Kernel.base_records
+  | Jittered -> Kernel.records ~variant:(Rng.int g.rng 9)
+  | Heavy_tailed ->
+    (* body: the Table 3 jitter; tail: whole-response multiples, so the
+       distinct size classes stay few enough to calibrate each once *)
+    let u = Rng.float g.rng in
+    if u < 0.90 then Kernel.records ~variant:(Rng.int g.rng 9)
+    else if u < 0.97 then 2 * Kernel.base_records
+    else if u < 0.995 then 4 * Kernel.base_records
+    else 8 * Kernel.base_records
+
+let next g ~until_s =
+  if g.exhausted then None
+  else begin
+    let at_s = draw_arrival g in
+    g.now_s <- at_s;
+    if at_s >= until_s then begin
+      (* draws past the horizon stay past it: arrival times only grow *)
+      g.exhausted <- true;
+      None
+    end
+    else
+      (* size and jitter are drawn even for requests a caller might
+         discard, keeping the stream a function of the draw count only *)
+      let records = draw_records g in
+      let service_jitter = 1.0 +. (0.05 *. Rng.float g.rng) in
+      Some { at_s; records; service_jitter }
+  end

@@ -1,0 +1,65 @@
+(** Open-loop arrival processes for the fleet simulator.
+
+    Open loop means clients do not wait for the server: requests keep
+    arriving at the offered rate however slow the fleet gets, which is
+    what exposes queueing tails (a closed loop throttles itself and hides
+    them — see DESIGN.md, "Fleet simulation").
+
+    Determinism: connection [c]'s whole arrival stream — inter-arrival
+    gaps, burst-state sojourns, request sizes, service jitter — derives
+    from [(seed, c)] alone, never from execution order or worker count,
+    the same discipline as fuzz program and fault derivation. *)
+
+type process =
+  | Poisson of { rate : float }
+      (** memoryless arrivals at [rate] requests/s per connection *)
+  | Bursty of { calm_rate : float; burst_rate : float; calm_s : float; burst_s : float }
+      (** a 2-state MMPP: exponential sojourns with means [calm_s] /
+          [burst_s] seconds, Poisson arrivals at the state's rate *)
+  | Diurnal of { rate : float; amplitude : float; period_s : float }
+      (** sinusoidal rate modulation
+          [rate * (1 + amplitude * sin (2 pi t / period))], drawn by
+          thinning; [0 <= amplitude <= 1] *)
+
+type size_mix =
+  | Fixed  (** every response is [Server.Kernel.base_records] records *)
+  | Jittered  (** the Table 3 variant jitter: base + 0..8 records *)
+  | Heavy_tailed
+      (** jittered body with Pareto-ish tail classes: x2 / x4 / x8
+          responses at 7% / 2.5% / 0.5% — the request-size mix that
+          separates p999 from the mean *)
+
+type t = { process : process; sizes : size_mix }
+
+val mean_rate : process -> float
+(** Long-run requests/s per connection (exact for Poisson and Bursty,
+    exact over whole periods for Diurnal). *)
+
+val presets : (string * t) list
+(** The CLI vocabulary: ["poisson"], ["bursty"], ["diurnal"], ["heavy"]. *)
+
+val of_string : string -> t option
+val to_string : t -> string
+(** The preset's name, or ["custom"] for an un-listed combination. *)
+
+(** {1 Per-connection streams} *)
+
+type request = {
+  at_s : float;  (** arrival time in virtual seconds since epoch *)
+  records : int;  (** response size drawn from the mix *)
+  service_jitter : float;
+      (** multiplicative service-time noise in [1, 1.05) — cache and
+          interrupt variance the cycle-exact machine cannot show *)
+}
+
+type gen
+
+val start : t -> seed:int64 -> conn:int -> gen
+(** The arrival stream of connection [conn], a pure function of
+    [(seed, conn)]. *)
+
+val next : gen -> until_s:float -> request option
+(** The next request strictly before [until_s] virtual seconds, advancing
+    the stream; [None] once the stream has passed the horizon (and on
+    every later call with the same [until_s]). Arrival times are
+    non-decreasing across calls. *)

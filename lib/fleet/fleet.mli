@@ -1,0 +1,84 @@
+(** Fleet-scale traffic simulation: thousands of open-loop connections
+    against a pool of server cores per scheme, in virtual time, with
+    per-scheme tail-latency statistics.
+
+    Structure (see DESIGN.md, "Fleet simulation"): the fleet is cut into
+    [cells] — independent groups of connections sharing [cores] server
+    cores. A campaign shard is one (scheme, cell) pair: it replays its
+    connections' arrival streams through an event-driven scheduler
+    ({!Scheduler}) and folds every completed request into a
+    constant-size {!Latency.t}. Cross-request coupling (queueing,
+    memory contention) exists only *inside* a cell, and the cell cut is
+    part of the configuration — never the worker count — so an N-worker
+    run is bit-identical to the 1-worker run, exactly as for the fuzz
+    and injection campaigns.
+
+    Virtual time is integer cycles of the Table 3 clock
+    ({!Pacstack_workloads.Server.Kernel.clock_hz}); nothing reads the
+    wall clock. *)
+
+type config = {
+  connections : int;  (** fleet size, split over cells *)
+  duration_s : float;  (** virtual seconds of offered load *)
+  arrival : Arrival.t;
+  schemes : Pacstack_harden.Scheme.t list;
+  seed : int64;
+  cells : int;
+      (** independent contention domains; fixes the shard cut, so it is
+          semantic configuration, not a tuning knob *)
+  cores : int;  (** server cores per cell *)
+}
+
+val default : config
+(** 1000 connections, 4 virtual seconds, the ["poisson"] preset, every
+    scheme, seed 7, 8 cells of 4 cores. *)
+
+val validate : config -> unit
+(** Raises [Invalid_argument] on non-positive sizes, [cells] exceeding
+    [connections], or an empty scheme list. *)
+
+(** Per-(scheme, cell) results; cells of a scheme merge with {!merge}. *)
+type stats = {
+  scheme : Pacstack_harden.Scheme.t;
+  offered : int;  (** requests that arrived before the horizon *)
+  completed : int;  (** requests fully served (drain-all: = offered) *)
+  queue_peak : int;  (** deepest any run queue got *)
+  busy_cycles : float;  (** total core-cycles spent serving *)
+  size_classes : int;  (** distinct request sizes calibrated *)
+  latency : Latency.t;  (** arrival-to-departure, virtual cycles *)
+}
+
+val merge : stats -> stats -> stats
+(** Associative; requires equal schemes ([Invalid_argument] otherwise).
+    [size_classes] merges by [max] (cells calibrate independently). *)
+
+val utilisation : config -> stats -> float
+(** Busy fraction of the scheme's cores over the horizon (can exceed 1
+    while draining a backlog). *)
+
+val run_cell : config -> scheme:Pacstack_harden.Scheme.t -> cell:int -> ?key:int -> unit -> stats
+(** Simulates one cell: its slice of the connections (contiguous,
+    {!Pacstack_campaign.Plan.split_trials}) arriving at [cores] FIFO
+    cores. Deterministic given [(config, scheme, cell)]. [key] tags the
+    lib/obs trace event for this cell (default: untraced). *)
+
+val plan : config -> stats Pacstack_campaign.Plan.t
+(** The campaign: one shard per (scheme, cell) in scheme-major order,
+    shard [i] running cell [i mod cells] of scheme [i / cells]. The
+    shard generator is unused — every draw derives from
+    [(config.seed, connection)] — mirroring the injection campaign. *)
+
+val tabulate : config -> stats Pacstack_campaign.Campaign.outcome -> stats list
+(** Merges cells per scheme (campaign fold order), one entry per scheme
+    in [config.schemes] order; schemes whose every cell was quarantined
+    are dropped. *)
+
+val quantiles : float list
+(** The reported ranks: 50, 95, 99, 99.9. *)
+
+val ms_of_cycles : float -> float
+(** Latency unit conversion at the Table 3 clock. *)
+
+val pp_table : config -> Format.formatter -> stats list -> unit
+(** The per-scheme latency table: offered/completed counts, utilisation,
+    mean and {!quantiles} in milliseconds. *)

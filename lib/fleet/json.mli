@@ -1,0 +1,16 @@
+(** JSON codecs for fleet results: the per-shard {!Fleet.stats} (the
+    campaign checkpoint payload, so an interrupted fleet run resumes
+    bit-identically) and the merged per-scheme table (the CLI's
+    [--json] export). *)
+
+val stats_to_json : Fleet.stats -> Pacstack_campaign.Json.t
+val stats_of_json : Pacstack_campaign.Json.t -> Fleet.stats option
+(** Round-trips {!stats_to_json} exactly. *)
+
+val checkpoint_codec : Fleet.stats Pacstack_campaign.Checkpoint.codec
+
+val table_to_json : Fleet.config -> Fleet.stats list -> Pacstack_campaign.Json.t
+(** The [--json] document: the configuration (connections, duration,
+    arrival preset, seed, cells, cores) and one row per scheme with
+    counts, utilisation, mean and the {!Fleet.quantiles} in both cycles
+    and milliseconds. *)

@@ -18,6 +18,24 @@ val percentile : float list -> float -> float
     Raises [Invalid_argument] if [xs] is empty, if [p] is NaN or outside
     [0, 100], or if any element is NaN (NaN has no rank). *)
 
+val percentiles : float list -> float list -> float list
+(** [percentiles xs ps] is [List.map (percentile xs) ps] computed with a
+    single sort — use it when asking several ranks of the same samples
+    (the p50/p95/p99/p999 latency tables). Same validation and
+    interpolation as {!percentile}, so the results agree exactly. *)
+
+val weighted_percentile : bounds:float array -> counts:int array -> float -> float
+(** [weighted_percentile ~bounds ~counts p]: the [p]-th percentile of a
+    histogram with [counts.(i)] samples in bucket
+    [[bounds.(i), bounds.(i+1))] — [bounds] has one more entry than
+    [counts] and must be strictly increasing. Linear interpolation inside
+    the bucket containing the rank, so the answer is within one bucket
+    width of {!percentile} on the raw samples. This is the
+    sufficient-statistics path: the fleet simulator folds millions of
+    request latencies into constant-size bucket counts and still reports
+    tails. Raises [Invalid_argument] on an empty histogram, malformed
+    bounds or an out-of-range [p]. *)
+
 val binomial_ci : successes:int -> trials:int -> float * float
 (** 95 % Wilson score interval for a binomial proportion. *)
 

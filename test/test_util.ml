@@ -234,6 +234,56 @@ let test_percentile_validates_rank () =
     (Invalid_argument "Stats.percentile: NaN element") (fun () ->
       ignore (Stats.percentile [ 1.0; Float.nan ] 50.0))
 
+let test_percentiles_many_ranks () =
+  (* one sort, many ranks must agree exactly with the one-rank function *)
+  let rng = Rng.create 91L in
+  let xs = List.init 257 (fun _ -> Rng.float rng *. 1000.0) in
+  let ps = [ 0.0; 12.5; 50.0; 90.0; 95.0; 99.0; 99.9; 100.0 ] in
+  List.iter2
+    (fun p got ->
+      Alcotest.check (Alcotest.float 1e-12)
+        (Printf.sprintf "p%g matches Stats.percentile" p)
+        (Stats.percentile xs p) got)
+    ps (Stats.percentiles xs ps);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentiles") (fun () ->
+      ignore (Stats.percentiles [] [ 50.0 ]));
+  Alcotest.check_raises "bad rank"
+    (Invalid_argument "Stats.percentiles: p = 101 not in [0, 100]") (fun () ->
+      ignore (Stats.percentiles xs [ 50.0; 101.0 ]))
+
+let test_weighted_percentile () =
+  (* histogram percentiles must land within one bucket width of the exact
+     answer on the raw samples — the sufficient-statistics contract *)
+  let rng = Rng.create 17L in
+  let xs = List.init 5000 (fun _ -> Rng.float rng ** 3.0 *. 100.0) in
+  let buckets = 50 in
+  let width = 100.0 /. float_of_int buckets in
+  let bounds = Array.init (buckets + 1) (fun i -> float_of_int i *. width) in
+  let counts = Array.make buckets 0 in
+  List.iter
+    (fun x ->
+      let i = min (buckets - 1) (int_of_float (x /. width)) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  List.iter
+    (fun p ->
+      let exact = Stats.percentile xs p in
+      let approx = Stats.weighted_percentile ~bounds ~counts p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g: |%.3f - %.3f| <= bucket width" p approx exact)
+        true
+        (Float.abs (approx -. exact) <= width +. 1e-9))
+    [ 1.0; 50.0; 90.0; 95.0; 99.0; 99.9 ];
+  (* all mass in one bucket: every rank interpolates inside that bucket *)
+  let one = Stats.weighted_percentile ~bounds:[| 2.0; 4.0 |] ~counts:[| 8 |] 50.0 in
+  Alcotest.(check bool) "single bucket interpolates" true (one >= 2.0 && one <= 4.0);
+  Alcotest.check_raises "empty histogram"
+    (Invalid_argument "Stats.weighted_percentile: empty histogram") (fun () ->
+      ignore (Stats.weighted_percentile ~bounds:[| 0.0; 1.0 |] ~counts:[| 0 |] 50.0));
+  Alcotest.check_raises "mismatched bounds"
+    (Invalid_argument "Stats.weighted_percentile: bounds must have one more entry than counts")
+    (fun () -> ignore (Stats.weighted_percentile ~bounds:[| 0.0 |] ~counts:[| 1 |] 50.0))
+
 let test_binomial_ci () =
   let lo, hi = Stats.binomial_ci ~successes:50 ~trials:100 in
   Alcotest.(check bool) "covers 0.5" true (lo < 0.5 && hi > 0.5);
@@ -305,6 +355,10 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "percentile rank validation" `Quick test_percentile_validates_rank;
+          Alcotest.test_case "percentiles: one sort, many ranks" `Quick
+            test_percentiles_many_ranks;
+          Alcotest.test_case "weighted percentile over buckets" `Quick
+            test_weighted_percentile;
           Alcotest.test_case "binomial CI" `Quick test_binomial_ci;
           Alcotest.test_case "overhead" `Quick test_overhead;
           Alcotest.test_case "birthday closed forms" `Quick test_birthday;
