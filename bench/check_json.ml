@@ -8,6 +8,12 @@
      check_json --trace FILE      validate a JSON-lines obs trace: every
                                   line parses, the header comes first,
                                   and every record is a metric or event
+     check_json --manifest FILE   validate a campaign checkpoint manifest:
+                                  binding header first, then only shard,
+                                  merged-statistics or quarantine lines;
+                                  a torn FINAL line is tolerated (that is
+                                  the crash the format is designed for),
+                                  a torn middle line is not
 
    Exits 0 when the file validates, 1 with a message naming the first
    violation otherwise. *)
@@ -41,7 +47,7 @@ let list_member name v =
   | Some l -> l
   | None -> fail "field %S is not a list in %s" name (Json.to_string v)
 
-(* --- the BENCH_06.json schema ------------------------------------------- *)
+(* --- the BENCH_07.json schema ------------------------------------------- *)
 
 let check_section s =
   let name = str_member "name" s in
@@ -75,7 +81,7 @@ let check_bench path =
     | Error e -> fail "%s does not parse: %s" path e
   in
   let version = int_member "schema_version" doc in
-  if version <> 2 then fail "schema_version %d, expected 2" version;
+  if version <> 3 then fail "schema_version %d, expected 3" version;
   if str_member "bench" doc <> "pacstack-hot-path" then fail "unexpected bench id";
   (match str_member "mode" doc with
   | "quick" | "full" -> ()
@@ -84,6 +90,15 @@ let check_bench path =
   ignore (float_member "guard_ns" obs);
   ignore (float_member "machine_step_pct" obs);
   ignore (float_member "fuzz_seed_pct" obs);
+  let cost = require_member "campaign_overhead" doc in
+  let raw = float_member "raw_ns_per_fault" cost in
+  let engine = float_member "engine_ns_per_fault" cost in
+  ignore (float_member "overhead_pct" cost);
+  if int_member "faults" cost < 1 then fail "campaign_overhead: bad fault count";
+  if not (Float.is_finite raw && raw > 0.) then
+    fail "campaign_overhead: bad raw_ns_per_fault";
+  if not (Float.is_finite engine && engine > 0.) then
+    fail "campaign_overhead: bad engine_ns_per_fault";
   let sections = List.map check_section (list_member "sections" doc) in
   List.iter
     (fun required ->
@@ -138,10 +153,68 @@ let check_trace path =
       rest);
   Printf.printf "check_json: %s ok (%d metrics, %d events)\n" path !n_metrics !n_events
 
+(* --- campaign checkpoint manifests (JSON lines) --------------------------- *)
+
+let check_manifest path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let n_shards = ref 0 and n_merged = ref 0 and n_quarantined = ref 0 in
+  let last = List.length lines in
+  (match lines with
+  | [] -> fail "%s is empty" path
+  | header :: rest ->
+    (match Json.parse header with
+    | Error e -> fail "%s line 1 does not parse: %s" path e
+    | Ok v ->
+      ignore (int_member "version" v);
+      ignore (str_member "campaign" v);
+      ignore (str_member "seed" v);
+      if int_member "shards" v < 1 then fail "header: bad shard count");
+    List.iteri
+      (fun i line ->
+        let lineno = i + 2 in
+        match Json.parse line with
+        | Error e ->
+          (* A torn trailing line is the crash the append-only format is
+             designed to survive; anywhere else it is corruption. *)
+          if lineno = last then
+            Printf.printf "check_json: %s line %d torn (tolerated)\n" path lineno
+          else fail "%s line %d does not parse: %s" path lineno e
+        | Ok v -> (
+          match Json.(Option.bind (member "merged" v) to_bool) with
+          | Some true ->
+            incr n_merged;
+            ignore (int_member "generation" v);
+            List.iter
+              (fun r ->
+                match Json.to_list r with
+                | Some [ lo; hi ]
+                  when Option.is_some (Json.to_int lo) && Option.is_some (Json.to_int hi)
+                  -> ()
+                | _ -> fail "line %d: bad covered range" lineno)
+              (list_member "covered" v);
+            ignore (require_member "result" v)
+          | Some false | None -> (
+            match Json.(Option.bind (member "quarantined" v) to_bool) with
+            | Some true ->
+              incr n_quarantined;
+              ignore (int_member "shard" v);
+              ignore (int_member "attempts" v);
+              ignore (str_member "error" v)
+            | Some false | None ->
+              incr n_shards;
+              ignore (int_member "shard" v);
+              ignore (require_member "result" v))))
+      rest);
+  Printf.printf "check_json: %s ok (%d shard, %d merged, %d quarantine lines)\n" path
+    !n_shards !n_merged !n_quarantined
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--trace"; path ] -> check_trace path
+  | [ _; "--manifest"; path ] -> check_manifest path
   | [ _; path ] -> check_bench path
   | _ ->
-    prerr_endline "usage: check_json BENCH.json | check_json --trace TRACE.jsonl";
+    prerr_endline
+      "usage: check_json BENCH.json | check_json --trace TRACE.jsonl | check_json \
+       --manifest MANIFEST.jsonl";
     exit 2

@@ -2,13 +2,14 @@
    paper's evaluation (via Pacstack_report), runs one Bechamel
    micro-benchmark per table/figure plus primitive micro-benchmarks, and
    measures the hot-path sections (MAC, machine step, loader, fuzz,
-   injection and fleet throughput) that BENCH_06.json records, plus the
-   lib/obs disabled-path overhead bound.
+   injection and fleet throughput) that BENCH_07.json records, plus the
+   lib/obs disabled-path overhead bound and the mega-campaign engine tax
+   over the raw streaming fold.
 
    Modes:
      bench                 full run: report + bechamel + sections + scaling
      bench --quick         hot-path sections only (the CI perf-smoke job)
-     bench --json          also write the sections to BENCH_06.json
+     bench --json          also write the sections to BENCH_07.json
      bench --out FILE      like --json, to FILE
      bench --gate          check the generous throughput floors and the
                            obs overhead ceilings; exit 1 on miss *)
@@ -27,6 +28,8 @@ module Json = Pacstack_campaign.Json
 module Qarma64 = Pacstack_qarma.Qarma64
 module Prf = Pacstack_qarma.Prf
 module Obs = Pacstack_obs.Obs
+module Inject_engine = Pacstack_inject.Engine
+module Mega = Pacstack_inject.Mega
 module Fleet = Pacstack_fleet.Fleet
 module Scheduler = Pacstack_fleet.Scheduler
 
@@ -124,7 +127,7 @@ let tests =
     [ test_table1; test_table2; test_figure5; test_table3; test_qarma; test_fast_mac;
       test_machine; test_pool_dispatch; test_campaign_birthday; test_fuzz_seed ]
 
-(* --- hot-path sections: the BENCH_06.json payload ------------------------ *)
+(* --- hot-path sections: the BENCH_07.json payload ------------------------ *)
 
 type section = {
   sname : string;
@@ -275,6 +278,74 @@ let print_sections sections =
         (match speedup s with Some v -> Printf.sprintf "%.2fx" v | None -> "-"))
     sections
 
+(* --- mega-campaign engine tax -------------------------------------------- *)
+
+(* ns/fault of the raw streaming fold (Mega.run_range called directly)
+   versus the same faults driven through the full campaign machinery:
+   shards, checkpoint manifest, hierarchical compaction. The difference
+   is what a 10^8-fault run pays for crash tolerance per fault, gated as
+   a ceiling below. The totals of the two paths are also asserted
+   bit-identical — the raw fold IS the campaign's semantics. *)
+
+type campaign_cost = {
+  raw_ns_per_fault : float;
+  engine_ns_per_fault : float;
+  overhead_pct : float;
+  co_faults : int;
+}
+
+let campaign_cost () =
+  Format.printf "@.measuring mega-campaign engine tax...@.";
+  let co_faults = 32 and seed = 7L in
+  let raw () =
+    Mega.run_range Inject_engine.default_config ~campaign_seed:seed ~first:0
+      ~count:co_faults
+  in
+  let engine () =
+    let path = Filename.temp_file "pacstack_bench_mega" ".jsonl" in
+    Sys.remove path;
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        let outcome =
+          Campaign.run ~workers:1
+            ~checkpoint:(path, Plans.mega_codec)
+            ~compaction:(Plans.mega_compaction ~keep:2)
+            (Plans.mega_plan ~faults:co_faults ~shard_faults:8 ~seed ())
+        in
+        Plans.mega_totals outcome)
+  in
+  let time_min f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (!best, Option.get !result)
+  in
+  let t_raw, m_raw = time_min raw in
+  let t_engine, m_engine = time_min engine in
+  if m_raw <> m_engine then
+    failwith "bench: mega campaign totals differ from the raw streaming fold";
+  let raw_ns = t_raw *. 1e9 /. float_of_int co_faults in
+  let engine_ns = t_engine *. 1e9 /. float_of_int co_faults in
+  {
+    raw_ns_per_fault = raw_ns;
+    engine_ns_per_fault = engine_ns;
+    overhead_pct = (engine_ns -. raw_ns) /. raw_ns *. 100.;
+    co_faults;
+  }
+
+let print_campaign_cost c =
+  Format.printf "@.=== Mega-campaign engine tax (gated <= 25%%) ===@.";
+  Format.printf "raw streaming fold:    %10.1f ns/fault@." c.raw_ns_per_fault;
+  Format.printf "campaign engine:       %10.1f ns/fault@." c.engine_ns_per_fault;
+  Format.printf "overhead:              %10.2f %%  (%d faults, checkpoint + compaction)@."
+    c.overhead_pct c.co_faults
+
 (* --- lib/obs disabled-path overhead --------------------------------------- *)
 
 (* The ISSUE 5 acceptance criterion: instrumentation must cost under 2% on
@@ -367,7 +438,7 @@ type gate = { gname : string; metric : string; op : gate_op; limit : float; valu
 let gate_pass g = match g.op with Floor -> g.value >= g.limit | Ceiling -> g.value <= g.limit
 let gate_op_string g = match g.op with Floor -> ">=" | Ceiling -> "<="
 
-let gates sections obs =
+let gates sections obs cost =
   let s n = List.find (fun x -> x.sname = n) sections in
   let mac_speedup = match speedup (s "qarma_mac_fast") with Some v -> v | None -> 0. in
   [
@@ -389,15 +460,17 @@ let gates sections obs =
       op = Ceiling; limit = 2.0; value = obs.machine_pct };
     { gname = "obs_fuzz_overhead"; metric = "disabled obs overhead on fuzz seed (%)";
       op = Ceiling; limit = 2.0; value = obs.fuzz_pct };
+    { gname = "campaign_overhead"; metric = "mega campaign tax over raw engine (%)";
+      op = Ceiling; limit = 25.0; value = cost.overhead_pct };
   ]
 
 (* --- JSON export (schema documented in README.md) ------------------------- *)
 
-let json_of ~mode sections obs gate_results =
+let json_of ~mode sections obs cost gate_results =
   let opt f = function Some v -> f v | None -> Json.Null in
   Json.Obj
     [
-      ("schema_version", Json.Int 2);
+      ("schema_version", Json.Int 3);
       ("bench", Json.String "pacstack-hot-path");
       ("mode", Json.String mode);
       ( "obs_overhead",
@@ -406,6 +479,14 @@ let json_of ~mode sections obs gate_results =
             ("guard_ns", Json.Float obs.guard_ns);
             ("machine_step_pct", Json.Float obs.machine_pct);
             ("fuzz_seed_pct", Json.Float obs.fuzz_pct);
+          ] );
+      ( "campaign_overhead",
+        Json.Obj
+          [
+            ("raw_ns_per_fault", Json.Float cost.raw_ns_per_fault);
+            ("engine_ns_per_fault", Json.Float cost.engine_ns_per_fault);
+            ("overhead_pct", Json.Float cost.overhead_pct);
+            ("faults", Json.Int cost.co_faults);
           ] );
       ( "sections",
         Json.List
@@ -525,7 +606,7 @@ let run_bechamel () =
 
 let () =
   let quick = ref false and json = ref false and gate = ref false in
-  let out = ref "BENCH_06.json" in
+  let out = ref "BENCH_07.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest
@@ -549,13 +630,15 @@ let () =
     obs_overhead ~step_ns:(ns_of "machine_step") ~fuzz_ns:(ns_of "fuzz_program")
   in
   print_obs_cost obs;
+  let cost = campaign_cost () in
+  print_campaign_cost cost;
   if not !quick then begin
     campaign_scaling ();
     retry_overhead ()
   end;
   let gate_results =
     if not !gate then None
-    else Some (List.map (fun g -> (g, gate_pass g)) (gates sections obs))
+    else Some (List.map (fun g -> (g, gate_pass g)) (gates sections obs cost))
   in
   (match gate_results with
   | None -> ()
@@ -568,7 +651,9 @@ let () =
           (if pass then "ok" else "FAIL"))
       gs);
   if !json then begin
-    let doc = json_of ~mode:(if !quick then "quick" else "full") sections obs gate_results in
+    let doc =
+      json_of ~mode:(if !quick then "quick" else "full") sections obs cost gate_results
+    in
     let oc = open_out !out in
     output_string oc (Json.to_string doc);
     output_string oc "\n";

@@ -12,6 +12,7 @@ module Report = Pacstack_report.Report
 module Plans = Pacstack_report.Plans
 module Fuzz_driver = Pacstack_fuzz.Driver
 module Inject_engine = Pacstack_inject.Engine
+module Mega = Pacstack_inject.Mega
 module Fleet = Pacstack_fleet.Fleet
 module Fleet_arrival = Pacstack_fleet.Arrival
 module Obs = Pacstack_obs.Obs
@@ -437,10 +438,55 @@ let inject_cmd =
   let no_gate =
     Arg.(value & flag & info [ "no-gate" ] ~doc:"Report silent corruption without failing.")
   in
+  let mega =
+    Arg.(
+      value & flag
+      & info [ "mega" ]
+          ~doc:
+            "Mega-campaign mode: fold each shard into constant-size streaming statistics \
+             (memory O(shards), not O(faults)), report silent rates as Wilson 95% \
+             intervals, and compact the checkpoint manifest as it grows.")
+  in
+  let isolation =
+    Arg.(
+      value
+      & opt (enum [ ("domain", Campaign.Domains); ("process", Campaign.Processes) ])
+          Campaign.Domains
+      & info [ "isolation" ] ~docv:"MODE"
+          ~doc:
+            "Shard executor: $(b,domain) runs shards on an in-process domain pool; \
+             $(b,process) forks each shard attempt into its own child so a crash, OOM \
+             kill or hang is an isolated retry instead of the end of the campaign.")
+  in
+  let shard_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shard-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline per shard attempt (process isolation only): a shard \
+             past it is SIGKILLed, retried and eventually quarantined.")
+  in
+  let shard_faults =
+    Arg.(
+      value & opt int 512
+      & info [ "shard-faults" ]
+          ~doc:"Faults per shard in $(b,--mega) mode (default 512).")
+  in
+  let compact_every =
+    Arg.(
+      value & opt int 256
+      & info [ "compact-every" ]
+          ~doc:
+            "In $(b,--mega) mode with $(b,--resume): rewrite the manifest as one merged \
+             statistics line whenever this many uncompacted shard lines accumulate \
+             (default 256).")
+  in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress events on stderr.")
   in
-  let action faults workers seed scheme pac_bits resume gate no_gate trace quiet =
+  let action faults workers seed scheme pac_bits resume gate no_gate mega isolation
+      shard_timeout shard_faults compact_every trace quiet =
     with_campaign_signals @@ fun () ->
     if faults < 1 then begin
       Printf.eprintf "pacstack: --faults must be >= 1\n";
@@ -448,6 +494,18 @@ let inject_cmd =
     end
     else if pac_bits < 1 || pac_bits > 16 then begin
       Printf.eprintf "pacstack: --pac-bits must be in [1, 16]\n";
+      1
+    end
+    else if shard_faults < 1 then begin
+      Printf.eprintf "pacstack: --shard-faults must be >= 1\n";
+      1
+    end
+    else if compact_every < 1 then begin
+      Printf.eprintf "pacstack: --compact-every must be >= 1\n";
+      1
+    end
+    else if (match shard_timeout with Some t -> t <= 0.0 | None -> false) then begin
+      Printf.eprintf "pacstack: --shard-timeout must be > 0\n";
       1
     end
     else begin
@@ -458,33 +516,18 @@ let inject_cmd =
       in
       let progress e = obs e; render e in
       let schemes = Option.map (fun s -> [ s ]) scheme in
-      let plan = Plans.inject_plan ?schemes ~pac_bits ~faults ~seed () in
-      let outcome =
-        Campaign.run ~workers ~progress
-          ?checkpoint:(Option.map (fun path -> (path, Plans.inject_codec)) resume)
-          plan
+      let policy =
+        { Campaign.default_policy with isolation; shard_timeout_s = shard_timeout }
       in
-      let totals = Plans.inject_totals outcome in
-      Plans.pp_inject_table Format.std_formatter totals;
-      (match outcome.Campaign.quarantined with
-      | [] -> ()
-      | qs ->
+      let gate_name = Scheme.to_string gate in
+      let print_quarantines (outcome : _ Campaign.outcome) =
         List.iter
           (fun (q : Campaign.quarantine) ->
-            Printf.printf "quarantined shard %d (%s) after %d attempts: %s\n" q.Campaign.shard
-              q.Campaign.label q.Campaign.attempts q.Campaign.error)
-          qs);
-      let gate_name = Scheme.to_string gate in
-      let offenders =
-        if no_gate then []
-        else
-          List.filter
-            (fun (r : Inject_engine.reproducer) -> String.equal r.Inject_engine.scheme gate_name)
-            totals.Inject_engine.silents
+            Printf.printf "quarantined shard %d (%s) after %d attempts: %s\n"
+              q.Campaign.shard q.Campaign.label q.Campaign.attempts q.Campaign.error)
+          outcome.Campaign.quarantined
       in
-      match offenders with
-      | [] -> 0
-      | rs ->
+      let print_reproducers rs =
         Printf.printf "silent corruption under %s — JSON reproducers:\n" gate_name;
         List.iter
           (fun (r : Inject_engine.reproducer) ->
@@ -500,8 +543,64 @@ let inject_cmd =
               | other -> other
             in
             print_endline (Json.to_string json))
-          rs;
-        1
+          rs
+      in
+      if mega then begin
+        let plan = Plans.mega_plan ?schemes ~pac_bits ~faults ~shard_faults ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress ~policy
+            ?checkpoint:(Option.map (fun path -> (path, Plans.mega_codec)) resume)
+            ?compaction:
+              (Option.map (fun _ -> Plans.mega_compaction ~keep:compact_every) resume)
+            plan
+        in
+        let totals = Plans.mega_totals outcome in
+        Plans.pp_mega_table Format.std_formatter totals;
+        print_quarantines outcome;
+        let gate_silents =
+          match List.assoc_opt gate_name totals.Mega.cells with
+          | Some c -> c.Mega.silent
+          | None -> 0
+        in
+        if no_gate || gate_silents = 0 then 0
+        else begin
+          print_reproducers
+            (List.filter
+               (fun (r : Inject_engine.reproducer) ->
+                 String.equal r.Inject_engine.scheme gate_name)
+               totals.Mega.repro);
+          let dropped = Mega.repro_dropped totals in
+          if dropped > 0 then
+            Printf.printf
+              "(%d further silent event(s) beyond the %d-reproducer retention cap)\n"
+              dropped Mega.repro_cap;
+          1
+        end
+      end
+      else begin
+        let plan = Plans.inject_plan ?schemes ~pac_bits ~faults ~seed () in
+        let outcome =
+          Campaign.run ~workers ~progress ~policy
+            ?checkpoint:(Option.map (fun path -> (path, Plans.inject_codec)) resume)
+            plan
+        in
+        let totals = Plans.inject_totals outcome in
+        Plans.pp_inject_table Format.std_formatter totals;
+        print_quarantines outcome;
+        let offenders =
+          if no_gate then []
+          else
+            List.filter
+              (fun (r : Inject_engine.reproducer) ->
+                String.equal r.Inject_engine.scheme gate_name)
+              totals.Inject_engine.silents
+        in
+        match offenders with
+        | [] -> 0
+        | rs ->
+          print_reproducers rs;
+          1
+      end
     end
   in
   Cmd.v
@@ -514,7 +613,7 @@ let inject_cmd =
           the gated scheme.")
     Term.(
       const action $ faults $ workers $ seed $ scheme $ pac_bits $ resume $ gate $ no_gate
-      $ trace_arg $ quiet)
+      $ mega $ isolation $ shard_timeout $ shard_faults $ compact_every $ trace_arg $ quiet)
 
 (* --- fleet: open-loop traffic simulation --------------------------------- *)
 
@@ -787,6 +886,9 @@ let () =
      than an uncaught-exception backtrace. *)
   match Cmd.eval' ~catch:false (Cmd.group info cmds) with
   | code -> exit code
+  | exception (Pacstack_campaign.Checkpoint.Stale_manifest _ as e) ->
+    Printf.eprintf "pacstack: %s\n" (Printexc.to_string e);
+    exit 2
   | exception Failure msg ->
     Printf.eprintf "pacstack: %s\n" msg;
     exit 1

@@ -1,6 +1,47 @@
 type 'r codec = { encode : 'r -> Json.t; decode : Json.t -> 'r option }
 
-type 'r file = { id : int; oc : out_channel; codec : 'r codec; mutex : Mutex.t }
+(* Compaction policy: once more than [keep] uncompacted shard lines have
+   accumulated, the manifest is rewritten as a single merged-statistics
+   line. [merge] must be associative AND commutative: a compacted
+   manifest folds results in coverage order, not completion order, so a
+   non-commutative merge would make resumed totals depend on history. *)
+type 'r compaction = { merge : 'r -> 'r -> 'r; keep : int }
+
+type 'r restored = {
+  results : 'r option array;
+  merged : 'r option;
+  covered : bool array;
+  generation : int;
+}
+
+type 'r file = {
+  mutable id : int;
+  mutable oc : out_channel;
+  codec : 'r codec;
+  mutex : Mutex.t;
+  path : string;
+  header_json : Json.t;
+  compaction : 'r compaction option;
+  (* compaction state, all guarded by [mutex] *)
+  mutable merged : 'r option;
+  mutable covered : (int * int) list;  (* sorted disjoint [lo, hi) ranges *)
+  mutable generation : int;
+  mutable fresh : (int * 'r) list;  (* uncompacted shard results *)
+  mutable quarantine_lines : Json.t list;  (* preserved across rewrites *)
+}
+
+exception
+  Stale_manifest of { path : string; expected : string; found : string }
+
+let () =
+  Printexc.register_printer (function
+    | Stale_manifest { path; expected; found } ->
+      Some
+        (Printf.sprintf
+           "Checkpoint.Stale_manifest: %s was written by a different campaign\n\
+           \  expected header %s\n\
+           \  found header    %s" path expected found)
+    | _ -> None)
 
 (* Registry of open manifests, so a signal handler can flush everything
    in flight ([flush_all]) before the process exits: an interrupted
@@ -54,17 +95,81 @@ let header_matches (plan : _ Plan.t) json =
   && Json.member "seed" json = Some (Json.String (Int64.to_string plan.Plan.seed))
   && Json.member "shards" json = Some (Json.Int (Plan.shard_count plan))
 
-let load_existing ~path ~codec (plan : _ Plan.t) =
+(* Normalize a list of disjoint-or-overlapping [lo, hi) ranges into
+   sorted disjoint coalesced form. *)
+let normalize_ranges ranges =
+  let sorted = List.sort compare ranges in
+  List.fold_left
+    (fun acc (lo, hi) ->
+      if hi <= lo then acc
+      else
+        match acc with
+        | (plo, phi) :: rest when lo <= phi -> (plo, max phi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+    [] sorted
+  |> List.rev
+
+let ranges_of_indices indices =
+  normalize_ranges (List.map (fun i -> (i, i + 1)) indices)
+
+let ranges_to_json ranges =
+  Json.List (List.map (fun (lo, hi) -> Json.List [ Json.Int lo; Json.Int hi ]) ranges)
+
+let ranges_of_json json =
+  match Json.to_list json with
+  | None -> None
+  | Some items ->
+    let parse = function
+      | Json.List [ a; b ] ->
+        Option.bind (Json.to_int a) (fun lo ->
+            Option.map (fun hi -> (lo, hi)) (Json.to_int b))
+      | _ -> None
+    in
+    let parsed = List.filter_map parse items in
+    if List.length parsed = List.length items then Some (normalize_ranges parsed)
+    else None
+
+type 'r loaded = {
+  l_results : 'r option array;
+  l_merged : 'r option;
+  l_covered : (int * int) list;
+  l_generation : int;
+  l_quarantines : Json.t list;
+}
+
+let load_existing ~path ~codec ?compaction (plan : _ Plan.t) =
+  let shard_count = Plan.shard_count plan in
+  let fresh () =
+    {
+      l_results = Array.make shard_count None;
+      l_merged = None;
+      l_covered = [];
+      l_generation = 0;
+      l_quarantines = [];
+    }
+  in
   let lines = In_channel.with_open_text path In_channel.input_lines in
   match lines with
-  | [] -> Ok [||] (* empty file: treat as fresh *)
+  | [] -> Ok (fresh ()) (* empty file: treat as fresh *)
   | header_line :: records -> (
     match Json.parse header_line with
     | Error e -> Error (Printf.sprintf "unreadable header: %s" e)
     | Ok json when not (header_matches plan json) ->
-      Error "written by a different campaign (name, seed or shard count mismatch)"
+      raise
+        (Stale_manifest
+           {
+             path;
+             expected = Json.to_string (header plan);
+             found = Json.to_string json;
+           })
     | Ok _ ->
-      let results = Array.make (Plan.shard_count plan) None in
+      let acc = ref (fresh ()) in
+      let merge_restored r =
+        let l = !acc in
+        match (compaction, l.l_merged) with
+        | Some c, Some m -> acc := { l with l_merged = Some (c.merge m r) }
+        | _, _ -> acc := { l with l_merged = Some r }
+      in
       List.iter
         (fun line ->
           (* a torn trailing line from a crash mid-write parses as an
@@ -72,29 +177,76 @@ let load_existing ~path ~codec (plan : _ Plan.t) =
           match Json.parse line with
           | Error _ -> ()
           | Ok json -> (
-            match (Json.member "shard" json, Json.member "result" json) with
-            | Some idx_json, Some result_json -> (
-              match Option.bind (Json.to_int idx_json) (fun idx ->
-                        if idx < 0 || idx >= Array.length results then None
-                        else Option.map (fun r -> (idx, r)) (codec.decode result_json))
+            match Json.member "merged" json with
+            | Some (Json.Bool true) -> (
+              match
+                ( Option.bind (Json.member "result" json) codec.decode,
+                  Option.bind (Json.member "covered" json) ranges_of_json )
               with
-              | Some (idx, r) -> results.(idx) <- Some r
-              | None -> ())
-            | _ -> ()))
+              | Some r, Some ranges ->
+                merge_restored r;
+                let gen =
+                  Option.bind (Json.member "generation" json) Json.to_int
+                  |> Option.value ~default:1
+                in
+                let l = !acc in
+                acc :=
+                  {
+                    l with
+                    l_covered = normalize_ranges (ranges @ l.l_covered);
+                    l_generation = max gen l.l_generation;
+                  }
+              | _ -> ())
+            | _ -> (
+              match Json.member "quarantined" json with
+              | Some (Json.Bool true) ->
+                let l = !acc in
+                acc := { l with l_quarantines = json :: l.l_quarantines }
+              | _ -> (
+                match (Json.member "shard" json, Json.member "result" json) with
+                | Some idx_json, Some result_json -> (
+                  match
+                    Option.bind (Json.to_int idx_json) (fun idx ->
+                        if idx < 0 || idx >= shard_count then None
+                        else Option.map (fun r -> (idx, r)) (codec.decode result_json))
+                  with
+                  | Some (idx, r) -> !acc.l_results.(idx) <- Some r
+                  | None -> ())
+                | _ -> ()))))
         records;
-      Ok results)
+      let l = !acc in
+      Ok { l with l_quarantines = List.rev l.l_quarantines })
 
-let open_ ~path ~codec plan =
+let covered_array ~shard_count ranges =
+  let a = Array.make shard_count false in
+  List.iter
+    (fun (lo, hi) ->
+      for i = max 0 lo to min shard_count (max 0 hi) - 1 do
+        a.(i) <- true
+      done)
+    ranges;
+  a
+
+let open_ ~path ~codec ?compaction plan =
+  (match compaction with
+  | Some { keep; _ } when keep < 1 -> invalid_arg "Checkpoint.open_: keep < 1"
+  | _ -> ());
   let existed =
     Sys.file_exists path && In_channel.with_open_bin path In_channel.length > 0L
   in
-  let prior =
+  let loaded =
     if existed then
-      match load_existing ~path ~codec plan with
-      | Ok results when Array.length results > 0 -> results
-      | Ok _ -> Array.make (Plan.shard_count plan) None
+      match load_existing ~path ~codec ?compaction plan with
+      | Ok l -> l
       | Error msg -> failwith (Printf.sprintf "Checkpoint %s: %s" path msg)
-    else Array.make (Plan.shard_count plan) None
+    else
+      {
+        l_results = Array.make (Plan.shard_count plan) None;
+        l_merged = None;
+        l_covered = [];
+        l_generation = 0;
+        l_quarantines = [];
+      }
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   if not existed then begin
@@ -102,41 +254,142 @@ let open_ ~path ~codec plan =
     output_char oc '\n';
     flush oc
   end;
-  ({ id = register oc; oc; codec; mutex = Mutex.create () }, prior)
+  (* Under compaction, per-shard results restored from the manifest are
+     re-queued as fresh so the next rewrite folds them into the merged
+     line instead of dropping them from the file. *)
+  let fresh =
+    match compaction with
+    | None -> []
+    | Some _ ->
+      Array.to_seq loaded.l_results
+      |> Seq.mapi (fun i r -> (i, r))
+      |> Seq.filter_map (fun (i, r) -> Option.map (fun r -> (i, r)) r)
+      |> List.of_seq
+  in
+  let t =
+    {
+      id = register oc;
+      oc;
+      codec;
+      mutex = Mutex.create ();
+      path;
+      header_json = header plan;
+      compaction;
+      merged = loaded.l_merged;
+      covered = loaded.l_covered;
+      generation = loaded.l_generation;
+      fresh;
+      quarantine_lines = loaded.l_quarantines;
+    }
+  in
+  let restored =
+    {
+      results = loaded.l_results;
+      merged = loaded.l_merged;
+      covered = covered_array ~shard_count:(Plan.shard_count plan) loaded.l_covered;
+      generation = loaded.l_generation;
+    }
+  in
+  (t, restored)
 
-let append_line t line =
+let output_line oc line =
+  output_string oc (Json.to_string line);
+  output_char oc '\n'
+
+let append_line_locked t line =
+  output_line t.oc line;
+  flush t.oc
+
+let merged_line t result =
+  Json.Obj
+    [
+      ("merged", Json.Bool true);
+      ("generation", Json.Int t.generation);
+      ("covered", ranges_to_json t.covered);
+      ("result", t.codec.encode result);
+    ]
+
+(* Rewrite the manifest as header + one merged line (+ preserved
+   quarantine history), via a temp file and an atomic rename so a crash
+   mid-rewrite leaves either the old manifest or the new one, never a
+   torn hybrid. Caller holds [t.mutex]. *)
+let compact_locked t c =
+  let in_order = List.sort (fun (a, _) (b, _) -> compare a b) t.fresh in
+  let merged =
+    List.fold_left
+      (fun acc (_, r) ->
+        match acc with None -> Some r | Some m -> Some (c.merge m r))
+      t.merged in_order
+  in
+  match merged with
+  | None -> ()
+  | Some m ->
+    t.merged <- merged;
+    t.covered <-
+      normalize_ranges (ranges_of_indices (List.map fst in_order) @ t.covered);
+    t.generation <- t.generation + 1;
+    t.fresh <- [];
+    let tmp = t.path ^ ".compact.tmp" in
+    let oc_tmp = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+    Fun.protect
+      ~finally:(fun () -> try close_out oc_tmp with Sys_error _ -> ())
+      (fun () ->
+        output_line oc_tmp t.header_json;
+        output_line oc_tmp (merged_line t m);
+        List.iter (output_line oc_tmp) t.quarantine_lines;
+        flush oc_tmp);
+    Sys.rename tmp t.path;
+    (try close_out t.oc with Sys_error _ -> ());
+    unregister t.id;
+    t.oc <- open_out_gen [ Open_append ] 0o644 t.path;
+    t.id <- register t.oc
+
+let record t (shard : Shard.t) result =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
-      output_string t.oc (Json.to_string line);
-      output_char t.oc '\n';
-      flush t.oc)
-
-let record t (shard : Shard.t) result =
-  append_line t
-    (Json.Obj
-       [
-         ("shard", Json.Int shard.Shard.index);
-         ("label", Json.String shard.Shard.label);
-         ("trials", Json.Int shard.Shard.trials);
-         ("result", t.codec.encode result);
-       ])
+      match t.compaction with
+      | Some c when List.length t.fresh + 1 >= c.keep ->
+        (* The triggering result goes straight into the merged line; no
+           point appending a shard line we are about to rewrite away. *)
+        t.fresh <- (shard.Shard.index, result) :: t.fresh;
+        compact_locked t c
+      | compaction ->
+        (match compaction with
+        | Some _ -> t.fresh <- (shard.Shard.index, result) :: t.fresh
+        | None -> ());
+        append_line_locked t
+          (Json.Obj
+             [
+               ("shard", Json.Int shard.Shard.index);
+               ("label", Json.String shard.Shard.label);
+               ("trials", Json.Int shard.Shard.trials);
+               ("result", t.codec.encode result);
+             ]))
 
 (* A quarantine line has no "result" member, so [load_existing] never
    restores it: a resumed campaign re-runs the quarantined shard (its
    failure may have been environmental). The line exists so the manifest
-   documents what happened to every shard of a failed run. *)
+   documents what happened to every shard of a failed run, and compaction
+   rewrites preserve it verbatim. *)
 let quarantine t (shard : Shard.t) ~attempts ~error =
-  append_line t
-    (Json.Obj
-       [
-         ("shard", Json.Int shard.Shard.index);
-         ("label", Json.String shard.Shard.label);
-         ("quarantined", Json.Bool true);
-         ("attempts", Json.Int attempts);
-         ("error", Json.String error);
-       ])
+  let line =
+    Json.Obj
+      [
+        ("shard", Json.Int shard.Shard.index);
+        ("label", Json.String shard.Shard.label);
+        ("quarantined", Json.Bool true);
+        ("attempts", Json.Int attempts);
+        ("error", Json.String error);
+      ]
+  in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      t.quarantine_lines <- t.quarantine_lines @ [ line ];
+      append_line_locked t line)
 
 let close t =
   unregister t.id;

@@ -18,6 +18,7 @@ type event =
     }
   | Shard_retried of { name : string; shard : Shard.t; attempt : int; error : string }
   | Shard_quarantined of { name : string; shard : Shard.t; attempts : int; error : string }
+  | Pool_degraded of { name : string; live : int; deaths : int }
   | Campaign_finished of { name : string; elapsed_s : float; trials_per_sec : float }
 
 type sink = event -> unit
@@ -40,6 +41,12 @@ let pp_event fmt = function
   | Shard_quarantined { name; shard; attempts; error } ->
     Format.fprintf fmt "[%s] shard %s QUARANTINED after %d attempts: %s" name shard.Shard.label
       attempts error
+  | Pool_degraded { name; live; deaths } ->
+    Format.fprintf fmt "[%s] pool degraded to %d live worker%s after %d abnormal child death%s"
+      name live
+      (if live = 1 then "" else "s")
+      deaths
+      (if deaths = 1 then "" else "s")
   | Campaign_finished { name; elapsed_s; trials_per_sec } ->
     Format.fprintf fmt "[%s] finished in %.2fs (%.0f trials/s)" name elapsed_s trials_per_sec
 

@@ -35,6 +35,14 @@ type event =
       attempts : int;  (** attempts made, all failed *)
       error : string;  (** the last attempt's exception *)
     }
+  | Pool_degraded of {
+      name : string;
+      live : int;  (** workers still allowed to run after the degradation *)
+      deaths : int;  (** abnormal child deaths (signals, timeouts) so far *)
+    }
+      (** Only emitted by the process-isolation executor: a child died
+          abnormally (crash, OOM kill, wall-clock timeout) and the pool
+          shrank its concurrency rather than keep feeding a bad machine. *)
   | Campaign_finished of {
       name : string;
       elapsed_s : float;

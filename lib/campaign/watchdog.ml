@@ -38,7 +38,8 @@ let remaining () =
   | Some { remaining; _ } -> Some !remaining
 
 let tick ?(cost = 1) () =
-  if cost < 0 then invalid_arg "Watchdog.tick: cost < 0";
+  if cost < 0 then
+    invalid_arg (Printf.sprintf "Watchdog.tick: cost %d < 0" cost);
   match !(Domain.DLS.get key) with
   | None -> () (* no watchdog installed: ticks are free *)
   | Some { budget; remaining } ->

@@ -327,6 +327,13 @@ module Campaign_hooks = struct
               ("attempts", Json.Int attempts);
               ("error", Json.String error)
             ]
+        | Progress.Pool_degraded { name; live; deaths } ->
+          Metrics.incr "campaign.pool_degradations";
+          Trace.emit "campaign.pool_degraded"
+            [ ("campaign", Json.String name);
+              ("live", Json.Int live);
+              ("deaths", Json.Int deaths)
+            ]
         | Progress.Campaign_finished { name; _ } ->
           Trace.emit "campaign.finished" [ ("campaign", Json.String name) ]
 end

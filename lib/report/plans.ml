@@ -6,6 +6,8 @@ module Speclike = Pacstack_workloads.Speclike
 module Server = Pacstack_workloads.Server
 module Bruteforce = Pacstack_attacker.Bruteforce
 module Inject_engine = Pacstack_inject.Engine
+module Mega = Pacstack_inject.Mega
+module Stats = Pacstack_util.Stats
 module Fleet = Pacstack_fleet.Fleet
 module Fleet_arrival = Pacstack_fleet.Arrival
 module Fleet_json = Pacstack_fleet.Json
@@ -306,26 +308,120 @@ let inject_stats_json (s : Inject_engine.stats) =
   | Json.Obj fields -> fields
   | other -> [ ("stats", other) ]
 
+(* Every reported rate carries a Wilson 95% interval: at rare-event
+   scales the point estimate alone (often exactly 0) says nothing about
+   what the sample size actually excludes. *)
+let wilson_ci ~successes ~trials =
+  if trials = 0 then (0.0, 1.0) else Stats.wilson ~successes ~trials
+
 (* The detection-rate table: per scheme, how the campaign's faults
    classified and how long detected corruption lived. *)
 let pp_inject_table fmt (s : Inject_engine.stats) =
-  Format.fprintf fmt "%-24s %9s %9s %9s %13s %13s@." "scheme" "detected" "benign" "silent"
-    "silent-rate" "mean-latency";
+  Format.fprintf fmt "%-24s %9s %9s %9s %13s %23s %13s@." "scheme" "detected" "benign"
+    "silent" "silent-rate" "wilson-95%" "mean-latency";
   List.iter
     (fun (name, (c : Inject_engine.cell)) ->
       let total = c.Inject_engine.detected + c.Inject_engine.benign + c.Inject_engine.silent in
       let rate =
         if total = 0 then 0.0 else float_of_int c.Inject_engine.silent /. float_of_int total
       in
+      let lo, hi = wilson_ci ~successes:c.Inject_engine.silent ~trials:total in
       let latency =
         if c.Inject_engine.detected = 0 then "-"
         else
           Printf.sprintf "%.1f"
             (float_of_int c.Inject_engine.latency_sum /. float_of_int c.Inject_engine.detected)
       in
-      Format.fprintf fmt "%-24s %9d %9d %9d %13.3f %13s@." name c.Inject_engine.detected
-        c.Inject_engine.benign c.Inject_engine.silent rate latency)
+      Format.fprintf fmt "%-24s %9d %9d %9d %13.3f %23s %13s@." name c.Inject_engine.detected
+        c.Inject_engine.benign c.Inject_engine.silent rate
+        (Printf.sprintf "[%.4f, %.4f]" lo hi)
+        latency)
     s.Inject_engine.cells
+
+(* --- mega campaigns: streaming sufficient statistics ---------------------- *)
+
+let mega_plan ?schemes ?(pac_bits = 4) ?tamper ?(faults = 120) ?(shard_faults = 512)
+    ~seed () =
+  if faults < 1 then invalid_arg "Plans.mega_plan: faults < 1";
+  if shard_faults < 1 then invalid_arg "Plans.mega_plan: shard_faults < 1";
+  let cfg =
+    {
+      Inject_engine.default_config with
+      pac_bits;
+      schemes = Option.value schemes ~default:Inject_engine.default_config.schemes;
+      tamper;
+    }
+  in
+  let shards = (faults + shard_faults - 1) / shard_faults in
+  let ranges =
+    Array.init shards (fun i ->
+        let lo = i * shard_faults in
+        (lo, min faults (lo + shard_faults)))
+  in
+  Plan.make ~name:"inject-mega" ~seed
+    ~shards:
+      (Array.map (fun (lo, hi) -> (Printf.sprintf "faults[%d,%d)" lo hi, hi - lo)) ranges)
+    ~run:(fun shard _rng ->
+      let lo, hi = ranges.(shard.Shard.index) in
+      Mega.run_range cfg ~campaign_seed:seed ~first:lo ~count:(hi - lo))
+
+let mega_codec = { Checkpoint.encode = Mega.to_json; decode = Mega.of_json }
+let mega_compaction ~keep = { Checkpoint.merge = Mega.merge; keep }
+let mega_totals outcome = Campaign.fold outcome ~init:Mega.empty ~f:Mega.merge
+
+let mega_stats_json (t : Mega.t) =
+  let rates =
+    List.map
+      (fun (name, (c : Mega.cell)) ->
+        let total = c.Mega.detected + c.Mega.benign + c.Mega.silent in
+        let lo, hi = wilson_ci ~successes:c.Mega.silent ~trials:total in
+        Json.Obj
+          [
+            ("scheme", Json.String name);
+            ("trials", Json.Int total);
+            ( "silent_rate",
+              Json.Float
+                (if total = 0 then 0.0
+                 else float_of_int c.Mega.silent /. float_of_int total) );
+            ("wilson_lo", Json.Float lo);
+            ("wilson_hi", Json.Float hi);
+          ])
+      t.Mega.cells
+  in
+  (match Mega.to_json t with
+  | Json.Obj fields -> fields
+  | other -> [ ("stats", other) ])
+  @ [
+      ("silent_rates", Json.List rates);
+      ("repro_dropped", Json.Int (Mega.repro_dropped t));
+    ]
+
+let pp_mega_table fmt (t : Mega.t) =
+  Format.fprintf fmt "%-24s %10s %10s %8s %11s %25s %12s@." "scheme" "detected" "benign"
+    "silent" "silent-rate" "wilson-95%" "p95-latency";
+  List.iter
+    (fun (name, (c : Mega.cell)) ->
+      let total = c.Mega.detected + c.Mega.benign + c.Mega.silent in
+      let rate =
+        if total = 0 then 0.0 else float_of_int c.Mega.silent /. float_of_int total
+      in
+      let lo, hi = wilson_ci ~successes:c.Mega.silent ~trials:total in
+      let p95 =
+        match Mega.latency_percentile c 95.0 with
+        | None -> "-"
+        | Some v -> Printf.sprintf "%.0f" v
+      in
+      Format.fprintf fmt "%-24s %10d %10d %8d %11.3e %25s %12s@." name c.Mega.detected
+        c.Mega.benign c.Mega.silent rate
+        (Printf.sprintf "[%.3e, %.3e]" lo hi)
+        p95)
+    t.Mega.cells;
+  let dropped = Mega.repro_dropped t in
+  if dropped > 0 then
+    Format.fprintf fmt "(%d silent reproducer%s beyond the %d-entry cap not retained)@."
+      dropped
+      (if dropped = 1 then "" else "s")
+      Mega.repro_cap
 
 let quarantine_json (outcome : _ Campaign.outcome) =
   ( "quarantined",

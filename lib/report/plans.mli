@@ -123,7 +123,46 @@ val inject_totals :
 val inject_stats_json : Pacstack_inject.Engine.stats -> (string * Json.t) list
 
 val pp_inject_table : Format.formatter -> Pacstack_inject.Engine.stats -> unit
-(** The per-scheme detection-rate table. *)
+(** The per-scheme detection-rate table; silent rates carry Wilson 95%
+    intervals. *)
+
+(** {1 Mega campaigns (streaming sufficient statistics)} *)
+
+val mega_plan :
+  ?schemes:Pacstack_harden.Scheme.t list ->
+  ?pac_bits:int ->
+  ?tamper:(Pacstack_machine.Machine.t -> unit) ->
+  ?faults:int ->
+  ?shard_faults:int ->
+  seed:int64 ->
+  unit ->
+  Pacstack_inject.Mega.t Plan.t
+(** Like {!inject_plan} but each shard folds its contiguous fault range
+    into a constant-size {!Pacstack_inject.Mega.t} summary — memory is
+    O(shards), not O(faults), which is what makes 10^6+-fault campaigns
+    possible. [shard_faults] (default 512) is the faults-per-shard
+    granularity: shard count is [ceil (faults / shard_faults)]. Raises
+    [Invalid_argument] if [faults < 1] or [shard_faults < 1]. *)
+
+val mega_codec : Pacstack_inject.Mega.t Checkpoint.codec
+
+val mega_compaction : keep:int -> Pacstack_inject.Mega.t Checkpoint.compaction
+(** Checkpoint compaction policy for mega manifests: merge is
+    {!Pacstack_inject.Mega.merge} (associative and commutative, as
+    compaction requires). *)
+
+val mega_totals : Pacstack_inject.Mega.t Campaign.outcome -> Pacstack_inject.Mega.t
+(** Merge all shard summaries, including the compacted blob of a resumed
+    manifest. *)
+
+val mega_stats_json : Pacstack_inject.Mega.t -> (string * Json.t) list
+(** The merged summary as JSON object fields, plus per-scheme
+    [silent_rates] with Wilson 95% bounds and the count of reproducers
+    dropped by the retention cap. *)
+
+val pp_mega_table : Format.formatter -> Pacstack_inject.Mega.t -> unit
+(** The per-scheme table with silent rates as Wilson 95% intervals and
+    p95 detection latency from the log2 histogram sketch. *)
 
 val quarantine_json : _ Campaign.outcome -> string * Json.t
 (** The outcome's quarantined shards as a JSON field. *)

@@ -103,16 +103,29 @@ let weighted_percentile ~bounds ~counts p =
   in
   go 0 0.0
 
+(* Wilson score interval. Unlike the naive Wald interval this stays
+   honest for the rare-event rates the mega-campaigns measure: at
+   k = 0 of n the lower bound is exactly 0 but the upper bound shrinks
+   like z^2/(n+z^2) instead of collapsing to a zero-width interval. *)
+let wilson ~successes ~trials =
+  if trials < 0 then invalid_arg "Stats.wilson: trials < 0";
+  if successes < 0 || successes > trials then
+    invalid_arg
+      (Printf.sprintf "Stats.wilson: successes %d not in [0, %d]" successes trials);
+  if trials = 0 then (0.0, 1.0) (* no evidence: the whole unit interval *)
+  else
+    let z = 1.959964 in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half = z /. denom *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n))) in
+    (max 0.0 (centre -. half), min 1.0 (centre +. half))
+
 let binomial_ci ~successes ~trials =
   if trials <= 0 then invalid_arg "Stats.binomial_ci";
-  let z = 1.959964 in
-  let n = float_of_int trials in
-  let p = float_of_int successes /. n in
-  let z2 = z *. z in
-  let denom = 1.0 +. (z2 /. n) in
-  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
-  let half = z /. denom *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n))) in
-  (max 0.0 (centre -. half), min 1.0 (centre +. half))
+  wilson ~successes ~trials
 
 let overhead_pct ~baseline ~measured =
   if baseline = 0.0 then invalid_arg "Stats.overhead_pct"

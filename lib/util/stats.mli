@@ -36,8 +36,18 @@ val weighted_percentile : bounds:float array -> counts:int array -> float -> flo
     tails. Raises [Invalid_argument] on an empty histogram, malformed
     bounds or an out-of-range [p]. *)
 
+val wilson : successes:int -> trials:int -> float * float
+(** [wilson ~successes ~trials] is the 95 % Wilson score interval
+    [(lo, hi)] for a binomial proportion, clamped to [[0, 1]].
+    [trials = 0] returns [(0., 1.)] — no evidence constrains nothing —
+    which is what the rare-event campaign tables need for empty cells.
+    Raises [Invalid_argument] if [trials < 0] or [successes] is outside
+    [[0, trials]]. *)
+
 val binomial_ci : successes:int -> trials:int -> float * float
-(** 95 % Wilson score interval for a binomial proportion. *)
+(** 95 % Wilson score interval for a binomial proportion. Same as
+    {!wilson} but raises [Invalid_argument] when [trials <= 0] (the
+    historical contract). *)
 
 val overhead_pct : baseline:float -> measured:float -> float
 (** [(measured - baseline) / baseline * 100]. *)

@@ -258,11 +258,19 @@ let contains haystack needle =
 let test_checkpoint_rejects_foreign_manifest () =
   with_temp_checkpoint (fun path ->
       let _ = Campaign.run ~checkpoint:(path, Plans.birthday_codec) (Plans.birthday_plan ~scale:0.05 ~seed:8L ()) in
-      (* same campaign name, different seed: must refuse, not recompute *)
+      (* same campaign name, different seed: must refuse with the typed
+         error carrying both headers, not recompute and not a bare Failure *)
       match Campaign.run ~checkpoint:(path, Plans.birthday_codec) (Plans.birthday_plan ~scale:0.05 ~seed:9L ()) with
       | _ -> Alcotest.fail "foreign manifest accepted"
-      | exception Failure msg ->
-        Alcotest.(check bool) "error names the file" true (contains msg path))
+      | exception (Checkpoint.Stale_manifest { path = p; expected; found } as e) ->
+        Alcotest.(check string) "names the file" path p;
+        Alcotest.(check bool) "expected header carries the new seed" true
+          (contains expected "\"seed\":\"9\"");
+        Alcotest.(check bool) "found header carries the manifest's seed" true
+          (contains found "\"seed\":\"8\"");
+        let msg = Printexc.to_string e in
+        Alcotest.(check bool) ("printer shows the delta: " ^ msg) true
+          (contains msg path && contains msg "expected header" && contains msg "found header"))
 
 let test_checkpoint_ignores_torn_line () =
   let plan () = Plans.birthday_plan ~scale:0.05 ~seed:8L () in
@@ -371,6 +379,15 @@ let test_watchdog_budget () =
   Alcotest.check_raises "exhaustion raises" (Watchdog.Exhausted { budget = 4 }) (fun () ->
       Watchdog.with_budget 4 (fun () -> Watchdog.tick ~cost:5 ()))
 
+(* Satellite regression: a negative tick would silently *grow* the fuel
+   budget; it must be rejected with a message naming the cost value,
+   installed budget or not. *)
+let test_watchdog_rejects_negative_cost () =
+  Alcotest.check_raises "uninstalled" (Invalid_argument "Watchdog.tick: cost -3 < 0")
+    (fun () -> Watchdog.tick ~cost:(-3) ());
+  Alcotest.check_raises "installed" (Invalid_argument "Watchdog.tick: cost -7 < 0")
+    (fun () -> Watchdog.with_budget 100 (fun () -> Watchdog.tick ~cost:(-7) ()))
+
 let test_watchdog_quarantines_runaway_shard () =
   (* shard 3 "hangs": it ticks far beyond the policy budget *)
   let fail (s : Shard.t) =
@@ -400,6 +417,78 @@ let test_fail_fast_policy_aborts () =
     Alcotest.(check int) "task index attached" 4 task;
     Alcotest.(check bool) "exception preserved" true
       (Printexc.to_string exn |> fun s -> contains s "fatal")
+
+(* --- Mega campaigns: hierarchical checkpoint compaction ------------------ *)
+
+(* The fork-based process pool and the SIGKILL crash-recovery e2e live
+   in test_procpool.ml: OCaml 5 forbids Unix.fork in a process that has
+   ever created another domain, and this suite spawns domain pools. The
+   compaction tests below run at 1 worker (inline, no domains, no
+   forks), so they stay here with the other checkpoint tests. *)
+
+let mega_fingerprint outcome = Plans.mega_totals outcome
+
+let test_compaction_resumes_identically () =
+  let plan () = Plans.mega_plan ~pac_bits:6 ~faults:24 ~shard_faults:4 ~seed:22L () in
+  let uninterrupted = Campaign.run ~workers:1 (plan ()) in
+  with_temp_checkpoint (fun path ->
+      let compacted =
+        Campaign.run
+          ~checkpoint:(path, Plans.mega_codec)
+          ~compaction:(Plans.mega_compaction ~keep:2)
+          (plan ())
+      in
+      Alcotest.(check bool) "compacted run = plain run" true
+        (mega_fingerprint compacted = mega_fingerprint uninterrupted);
+      (* the manifest has collapsed to the header plus merged statistics *)
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check bool) "manifest holds a merged line" true
+        (List.exists (fun l -> contains l "\"merged\":true") lines);
+      Alcotest.(check bool) "manifest stays O(1) lines, not O(shards)" true
+        (List.length lines <= 3);
+      let resumed =
+        Campaign.run
+          ~checkpoint:(path, Plans.mega_codec)
+          ~compaction:(Plans.mega_compaction ~keep:2)
+          (plan ())
+      in
+      Alcotest.(check int) "every shard restored from the merged blob"
+        (Plan.shard_count (plan ()))
+        resumed.Campaign.resumed;
+      Alcotest.(check bool) "resumed = uninterrupted" true
+        (mega_fingerprint resumed = mega_fingerprint uninterrupted))
+
+(* A manifest truncated right after a compaction rename — merged line
+   present, later per-shard appends lost — restores the covered shards
+   and recomputes only the remainder, bit-identically. The merged blob
+   folds before the recomputed shards, which is why [Mega.merge] must be
+   commutative, not merely associative. *)
+let test_partial_compacted_manifest_resumes () =
+  let plan () = Plans.mega_plan ~pac_bits:6 ~faults:24 ~shard_faults:4 ~seed:23L () in
+  let uninterrupted = Campaign.run ~workers:1 (plan ()) in
+  with_temp_checkpoint (fun path ->
+      let _ =
+        Campaign.run
+          ~checkpoint:(path, Plans.mega_codec)
+          ~compaction:(Plans.mega_compaction ~keep:4)
+          (plan ())
+      in
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      let kept =
+        List.filteri (fun i l -> i = 0 || contains l "\"merged\":true") lines
+      in
+      Alcotest.(check int) "header + one merged line kept" 2 (List.length kept);
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+      let resumed =
+        Campaign.run
+          ~checkpoint:(path, Plans.mega_codec)
+          ~compaction:(Plans.mega_compaction ~keep:4)
+          (plan ())
+      in
+      Alcotest.(check int) "merged shards restored" 4 resumed.Campaign.resumed;
+      Alcotest.(check bool) "resumed = uninterrupted" true
+        (mega_fingerprint resumed = mega_fingerprint uninterrupted))
 
 (* Satellite: a manifest with both a torn trailing line and a corrupted
    interior line restores exactly the intact shards and recomputes the
@@ -490,9 +579,18 @@ let () =
             test_quarantine_isolates_failing_shard;
           Alcotest.test_case "transient failure retried" `Quick test_transient_failure_is_retried;
           Alcotest.test_case "watchdog budget" `Quick test_watchdog_budget;
+          Alcotest.test_case "watchdog rejects negative cost" `Quick
+            test_watchdog_rejects_negative_cost;
           Alcotest.test_case "watchdog quarantines runaway shard" `Quick
             test_watchdog_quarantines_runaway_shard;
           Alcotest.test_case "fail-fast policy aborts" `Quick test_fail_fast_policy_aborts;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "compacted manifest resumes identically" `Quick
+            test_compaction_resumes_identically;
+          Alcotest.test_case "partial compacted manifest resumes" `Quick
+            test_partial_compacted_manifest_resumes;
         ] );
       ( "progress",
         [ Alcotest.test_case "event trace" `Quick test_progress_events_cover_campaign ] );

@@ -304,6 +304,96 @@ let test_stats_merge_order_independent () =
   Alcotest.(check bool) "commutative" true (stats_equal left swapped);
   Alcotest.(check int) "all faults counted" 9 left.Engine.faults
 
+(* --- mega sufficient statistics ------------------------------------------- *)
+
+module Mega = Pacstack_inject.Mega
+
+(* The streaming summary must agree with the O(events) Engine.stats it
+   replaces: same counters per scheme over the same fault range. *)
+let test_mega_agrees_with_engine_stats () =
+  let cfg = Engine.default_config in
+  let full = Engine.run_range cfg ~campaign_seed:7L ~first:0 ~count:12 in
+  let mega = Mega.run_range cfg ~campaign_seed:7L ~first:0 ~count:12 in
+  Alcotest.(check int) "fault counts agree" full.Engine.faults mega.Mega.faults;
+  List.iter
+    (fun (name, (c : Engine.cell)) ->
+      match List.assoc_opt name mega.Mega.cells with
+      | None -> Alcotest.failf "scheme %s missing from mega cells" name
+      | Some (m : Mega.cell) ->
+        Alcotest.(check int) (name ^ " detected") c.Engine.detected m.Mega.detected;
+        Alcotest.(check int) (name ^ " benign") c.Engine.benign m.Mega.benign;
+        Alcotest.(check int) (name ^ " silent") c.Engine.silent m.Mega.silent;
+        Alcotest.(check int) (name ^ " histogram mass = detections") m.Mega.detected
+          (Array.fold_left ( + ) 0 m.Mega.latency_hist))
+    full.Engine.cells;
+  Alcotest.(check bool) "reproducers are a prefix of the full silent list" true
+    (List.for_all
+       (fun (r : Engine.reproducer) ->
+         List.exists (fun (s : Engine.reproducer) -> s = r) full.Engine.silents)
+       mega.Mega.repro)
+
+let test_mega_merge_order_independent () =
+  let cfg = Engine.default_config in
+  let a = Mega.run_range cfg ~campaign_seed:7L ~first:0 ~count:4 in
+  let b = Mega.run_range cfg ~campaign_seed:7L ~first:4 ~count:4 in
+  let c = Mega.run_range cfg ~campaign_seed:7L ~first:8 ~count:4 in
+  let left = Mega.merge (Mega.merge a b) c in
+  let right = Mega.merge a (Mega.merge b c) in
+  let swapped = Mega.merge c (Mega.merge b a) in
+  Alcotest.(check bool) "associative" true (left = right);
+  Alcotest.(check bool) "commutative" true (left = swapped);
+  Alcotest.(check int) "all faults counted" 12 left.Mega.faults;
+  (* and the merged summary equals the single-range fold *)
+  let whole = Mega.run_range cfg ~campaign_seed:7L ~first:0 ~count:12 in
+  Alcotest.(check bool) "grouping-free" true (left = whole)
+
+let test_mega_json_roundtrip () =
+  let mega = Mega.run_range Engine.default_config ~campaign_seed:7L ~first:0 ~count:8 in
+  match Mega.of_json (Mega.to_json mega) with
+  | None -> Alcotest.fail "mega summary did not parse back"
+  | Some parsed -> Alcotest.(check bool) "roundtrip" true (mega = parsed)
+
+(* The retention cap: reproducers stay bounded at repro_cap however many
+   silent events accumulate, the kept set is the smallest (fault, scheme)
+   keys, and the drop count is derivable. *)
+let test_mega_reproducer_cap () =
+  let mk fault = { Engine.fault; scheme = "s"; site = "return-slot" } in
+  let silent_result fault =
+    { Engine.spec = Fault.derive ~campaign_seed:1L fault;
+      scheme = Scheme.Unprotected;
+      classification = Engine.Silent }
+  in
+  let t =
+    List.fold_left
+      (fun t i -> Mega.add_result t (silent_result i))
+      Mega.empty
+      (List.init (2 * Mega.repro_cap) (fun i -> i))
+  in
+  Alcotest.(check int) "capped" Mega.repro_cap (List.length t.Mega.repro);
+  Alcotest.(check int) "dropped = silent - kept" Mega.repro_cap (Mega.repro_dropped t);
+  List.iteri
+    (fun i (r : Engine.reproducer) ->
+      Alcotest.(check int) "smallest keys kept, sorted" i r.Engine.fault)
+    t.Mega.repro;
+  ignore (mk 0)
+
+let test_mega_latency_histogram () =
+  Alcotest.(check int) "latency 0" 0 (Mega.bucket 0);
+  Alcotest.(check int) "latency 1" 0 (Mega.bucket 1);
+  Alcotest.(check int) "latency 2" 1 (Mega.bucket 2);
+  Alcotest.(check int) "latency 3" 2 (Mega.bucket 3);
+  Alcotest.(check int) "latency 4" 2 (Mega.bucket 4);
+  Alcotest.(check int) "latency 5" 3 (Mega.bucket 5);
+  Alcotest.(check int) "max_int saturates" (Mega.hist_buckets - 1) (Mega.bucket max_int);
+  (* percentile: None without detections, within one bucket otherwise *)
+  let mega = Mega.run_range Engine.default_config ~campaign_seed:7L ~first:0 ~count:8 in
+  List.iter
+    (fun ((_ : string), (c : Mega.cell)) ->
+      match Mega.latency_percentile c 95.0 with
+      | None -> Alcotest.(check int) "None only without detections" 0 c.Mega.detected
+      | Some p -> Alcotest.(check bool) "p95 positive and finite" true (p >= 0. && Float.is_finite p))
+    mega.Mega.cells
+
 let () =
   Alcotest.run "inject"
     [
@@ -339,5 +429,15 @@ let () =
         [
           Alcotest.test_case "json roundtrip" `Quick test_stats_json_roundtrip;
           Alcotest.test_case "merge order independent" `Quick test_stats_merge_order_independent;
+        ] );
+      ( "mega",
+        [
+          Alcotest.test_case "agrees with engine stats" `Quick
+            test_mega_agrees_with_engine_stats;
+          Alcotest.test_case "merge order independent" `Quick
+            test_mega_merge_order_independent;
+          Alcotest.test_case "json roundtrip" `Quick test_mega_json_roundtrip;
+          Alcotest.test_case "reproducer cap" `Quick test_mega_reproducer_cap;
+          Alcotest.test_case "latency histogram" `Quick test_mega_latency_histogram;
         ] );
     ]

@@ -291,6 +291,41 @@ let test_binomial_ci () =
   let lo0, _ = Stats.binomial_ci ~successes:0 ~trials:10 in
   Alcotest.check feq "zero successes lower bound" 0.0 lo0
 
+let test_wilson () =
+  (* no data: the interval is the whole unit line, not an exception —
+     mega-campaign tables hold cells with zero trials *)
+  let lo, hi = Stats.wilson ~successes:0 ~trials:0 in
+  Alcotest.check feq "n=0 lower" 0.0 lo;
+  Alcotest.check feq "n=0 upper" 1.0 hi;
+  (* k=0: lower bound exactly 0, upper bound the rule-of-three-ish z²/(n+z²) *)
+  let lo, hi = Stats.wilson ~successes:0 ~trials:20 in
+  Alcotest.check feq "k=0 lower" 0.0 lo;
+  Alcotest.(check bool) "k=0 upper in (0, 1)" true (hi > 0.0 && hi < 0.25);
+  (* k=n is the mirror image of k=0 *)
+  let lo', hi' = Stats.wilson ~successes:20 ~trials:20 in
+  Alcotest.check feq "k=n upper" 1.0 hi';
+  Alcotest.check feq "k=n mirrors k=0" (1.0 -. hi) lo';
+  (* published value: k=1, n=10 at 95% is about [0.018, 0.404] *)
+  let lo, hi = Stats.wilson ~successes:1 ~trials:10 in
+  Alcotest.check (Alcotest.float 1e-3) "small-n lower" 0.018 lo;
+  Alcotest.check (Alcotest.float 1e-3) "small-n upper" 0.404 hi;
+  Alcotest.check_raises "negative trials"
+    (Invalid_argument "Stats.wilson: trials < 0") (fun () ->
+      ignore (Stats.wilson ~successes:0 ~trials:(-1)));
+  Alcotest.check_raises "successes out of range"
+    (Invalid_argument "Stats.wilson: successes 11 not in [0, 10]") (fun () ->
+      ignore (Stats.wilson ~successes:11 ~trials:10))
+
+let prop_wilson_contains_estimate =
+  qtest "wilson interval contains the point estimate" 500
+    QCheck2.Gen.(
+      bind (int_range 1 10_000) (fun n ->
+          map (fun k -> (k, n)) (int_range 0 n)))
+    (fun (k, n) ->
+      let lo, hi = Stats.wilson ~successes:k ~trials:n in
+      let p = float_of_int k /. float_of_int n in
+      0.0 <= lo && lo <= p && p <= hi && hi <= 1.0)
+
 let test_overhead () =
   Alcotest.check feq "10%" 10.0 (Stats.overhead_pct ~baseline:100.0 ~measured:110.0);
   Alcotest.check feq "negative" (-10.0) (Stats.overhead_pct ~baseline:100.0 ~measured:90.0)
@@ -360,6 +395,8 @@ let () =
           Alcotest.test_case "weighted percentile over buckets" `Quick
             test_weighted_percentile;
           Alcotest.test_case "binomial CI" `Quick test_binomial_ci;
+          Alcotest.test_case "wilson interval" `Quick test_wilson;
+          prop_wilson_contains_estimate;
           Alcotest.test_case "overhead" `Quick test_overhead;
           Alcotest.test_case "birthday closed forms" `Quick test_birthday;
           Alcotest.test_case "guess counts" `Quick test_guesses;
