@@ -47,7 +47,7 @@ let list_member name v =
   | Some l -> l
   | None -> fail "field %S is not a list in %s" name (Json.to_string v)
 
-(* --- the BENCH_07.json schema ------------------------------------------- *)
+(* --- the BENCH_08.json schema ------------------------------------------- *)
 
 let check_section s =
   let name = str_member "name" s in
@@ -104,7 +104,8 @@ let check_bench path =
     (fun required ->
       if not (List.mem required sections) then fail "missing section %S" required)
     [
-      "qarma_mac_fast"; "machine_step"; "machine_load"; "fuzz_program"; "inject_fault";
+      "qarma_mac_fast"; "machine_step"; "machine_step_threaded"; "machine_load";
+      "fuzz_program"; "inject_fault";
       "scheduler_event"; "fleet_request";
     ];
   (match require_member "gates" doc with

@@ -2,14 +2,14 @@
    paper's evaluation (via Pacstack_report), runs one Bechamel
    micro-benchmark per table/figure plus primitive micro-benchmarks, and
    measures the hot-path sections (MAC, machine step, loader, fuzz,
-   injection and fleet throughput) that BENCH_07.json records, plus the
+   injection and fleet throughput) that BENCH_08.json records, plus the
    lib/obs disabled-path overhead bound and the mega-campaign engine tax
    over the raw streaming fold.
 
    Modes:
      bench                 full run: report + bechamel + sections + scaling
      bench --quick         hot-path sections only (the CI perf-smoke job)
-     bench --json          also write the sections to BENCH_07.json
+     bench --json          also write the sections to BENCH_08.json
      bench --out FILE      like --json, to FILE
      bench --gate          check the generous throughput floors and the
                            obs overhead ceilings; exit 1 on miss *)
@@ -162,6 +162,14 @@ let seed_machine_load_ns = 285_236.
 let seed_fuzz_ns = 1e9 /. 70.0
 let seed_inject_ns = 1e9 /. 61.1
 
+(* The dispatch the threaded engine replaced: machine_step as recorded in
+   BENCH_08's predecessor, measured on the same host lineage. The
+   step_speedup gate compares against this fixed anchor, not the
+   re-measured reference (which also got faster when the build switched
+   to the release profile for cross-module inlining). *)
+let bench07_src = "BENCH_07, recorded"
+let bench07_machine_step_ns = 57.17193567435222
+
 let perf_sections () =
   Format.printf "@.measuring hot-path sections...@.";
   let key = Qarma64.key ~w0:0x0123456789abcdefL ~k0:0xfedcba9876543210L in
@@ -170,18 +178,33 @@ let perf_sections () =
     time_per_op ~iters:3_000 (fun () -> Qarma64.Reference.encrypt key ~tweak:7L 42L)
   in
   let fast_ns = time_per_op ~iters:200_000 (fun () -> Prf.mac64 prf ~data:42L ~modifier:7L) in
-  (* machine interpreter: a pacstack-instrumented recursive fib(15) *)
+  (* machine interpreter: a pacstack-instrumented recursive fib(15),
+     once per engine — machine_step keeps tracking the reference
+     fetch-then-match dispatch, machine_step_threaded the compiled-ops
+     engine that [Machine.run] actually uses *)
   let program = fib_program 15 in
   let steps =
     let m = Machine.load program in
     ignore (Machine.run ~fuel:10_000_000 m);
     Machine.instructions_retired m
   in
-  let runs = 10 in
-  let machines = Array.init runs (fun _ -> Machine.load program) in
-  let t0 = Unix.gettimeofday () in
-  Array.iter (fun m -> ignore (Machine.run ~fuel:10_000_000 m)) machines;
-  let step_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (runs * steps) in
+  let time_steps runf =
+    (* best of several batches: the minimum is the robust statistic for a
+       CPU-bound loop on a noisy shared host — every other sample is the
+       same work plus scheduling interference *)
+    let best = ref infinity in
+    for _ = 1 to 8 do
+      let runs = 5 in
+      let machines = Array.init runs (fun _ -> Machine.load program) in
+      let t0 = Unix.gettimeofday () in
+      Array.iter (fun m -> ignore (runf m)) machines;
+      let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (runs * steps) in
+      if ns < !best then best := ns
+    done;
+    !best
+  in
+  let step_ns = time_steps (fun m -> Machine.Reference.run ~fuel:10_000_000 m) in
+  let step_thr_ns = time_steps (fun m -> Machine.run ~fuel:10_000_000 m) in
   let load_ns = time_per_op ~iters:50 (fun () -> Machine.load program) in
   (* end-to-end engines at 1 worker, with an N-worker determinism check.
      The 4-worker runs execute fully instrumented and traced (obs enabled,
@@ -259,6 +282,8 @@ let perf_sections () =
     section "qarma_mac_reference" ref_ns;
     section ~before:ref_ns ~src:"reference oracle, this run" "qarma_mac_fast" fast_ns;
     section ~before:seed_machine_step_ns ~src:seed_src "machine_step" step_ns;
+    section ~before:bench07_machine_step_ns ~src:bench07_src "machine_step_threaded"
+      step_thr_ns;
     section ~before:seed_machine_load_ns ~src:seed_src "machine_load" load_ns;
     section ~before:seed_fuzz_ns ~src:seed_src "fuzz_program"
       (tf1 *. 1e9 /. float_of_int fuzz_seeds);
@@ -425,9 +450,12 @@ let print_obs_cost c =
 
 (* --- throughput gates ----------------------------------------------------- *)
 
-(* Floors are deliberately generous — at least 2x (mostly 5-10x) below the
+(* Floors are deliberately generous — at least 2x (mostly 3-5x) below the
    numbers measured on the development host — so the CI perf-smoke job
    catches order-of-magnitude regressions, not machine-to-machine noise.
+   Re-baselined after the threaded-code engine landed: everything that
+   runs machines (fuzz, injection, fleet, the step rates themselves) got
+   faster, so the old floors had drifted to 5-15x headroom.
    The obs gates run the other way: ceilings on the disabled-path
    instrumentation overhead. *)
 
@@ -447,15 +475,21 @@ let gates sections obs cost =
     { gname = "mac_rate"; metric = "QARMA MACs per second";
       op = Floor; limit = 200_000.; value = (s "qarma_mac_fast").ops_per_sec };
     { gname = "step_rate"; metric = "machine steps per second";
-      op = Floor; limit = 2_000_000.; value = (s "machine_step").ops_per_sec };
+      op = Floor; limit = 5_000_000.; value = (s "machine_step").ops_per_sec };
+    { gname = "step_speedup";
+      metric = "threaded engine speedup over BENCH_07 machine_step (x)";
+      op = Floor; limit = 5.0;
+      value = (match speedup (s "machine_step_threaded") with Some v -> v | None -> 0.) };
+    { gname = "threaded_step_rate"; metric = "threaded machine steps per second";
+      op = Floor; limit = 30_000_000.; value = (s "machine_step_threaded").ops_per_sec };
     { gname = "fuzz_rate"; metric = "fuzz programs per second";
-      op = Floor; limit = 20.; value = (s "fuzz_program").ops_per_sec };
+      op = Floor; limit = 40.; value = (s "fuzz_program").ops_per_sec };
     { gname = "inject_rate"; metric = "injected faults per second";
-      op = Floor; limit = 15.; value = (s "inject_fault").ops_per_sec };
+      op = Floor; limit = 50.; value = (s "inject_fault").ops_per_sec };
     { gname = "scheduler_rate"; metric = "fleet scheduler events per second";
       op = Floor; limit = 500_000.; value = (s "scheduler_event").ops_per_sec };
     { gname = "fleet_rate"; metric = "simulated fleet requests per second";
-      op = Floor; limit = 1_000.; value = (s "fleet_request").ops_per_sec };
+      op = Floor; limit = 4_000.; value = (s "fleet_request").ops_per_sec };
     { gname = "obs_machine_overhead"; metric = "disabled obs overhead on machine step (%)";
       op = Ceiling; limit = 2.0; value = obs.machine_pct };
     { gname = "obs_fuzz_overhead"; metric = "disabled obs overhead on fuzz seed (%)";
@@ -606,7 +640,7 @@ let run_bechamel () =
 
 let () =
   let quick = ref false and json = ref false and gate = ref false in
-  let out = ref "BENCH_07.json" in
+  let out = ref "BENCH_08.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest

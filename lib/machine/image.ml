@@ -3,6 +3,12 @@ module Program = Pacstack_isa.Program
 module Instr = Pacstack_isa.Instr
 module Encode = Pacstack_isa.Encode
 
+(* Open slot for engine-compiled artifacts derived from this image (the
+   machine's threaded-code ops array). An extensible variant keeps the
+   dependency arrow pointing the right way: Machine extends [cache],
+   Image never learns what it stores. *)
+type cache = ..
+
 type t = {
   program : Program.t;
   code : Instr.t array;
@@ -12,6 +18,8 @@ type t = {
   locals : (string * string, Word64.t) Hashtbl.t;  (* (function, label) *)
   bounds : (string * Word64.t * Word64.t) list;    (* name, first, past-last *)
   entries : (Word64.t, unit) Hashtbl.t;            (* function entry points *)
+  fetch_trap : exn;      (* preformatted out-of-image trap, raised as-is *)
+  mutable cache : cache option;
 }
 
 let code_base = 0x0000_0001_0000L
@@ -71,7 +79,19 @@ let build (p : Program.t) =
   let words, pools = Encode.encode (Array.to_list code) in
   let entries = Hashtbl.create 16 in
   List.iter (fun (_, first, _) -> Hashtbl.replace entries first ()) !bounds;
-  { program; code; words; pools; globals; locals; bounds = List.rev !bounds; entries }
+  (* Formatted once here instead of on every raise: the message names the
+     image bounds rather than the faulting PC, which the trap's (pc) site
+     context already carries. *)
+  let fetch_trap =
+    Trap.Fault
+      (Trap.Undefined
+         (Printf.sprintf "fetch outside code image [%Lx..%Lx)" code_base
+            (Int64.add code_base (Int64.of_int (4 * Array.length code)))))
+  in
+  {
+    program; code; words; pools; globals; locals;
+    bounds = List.rev !bounds; entries; fetch_trap; cache = None;
+  }
 
 let program t = t.program
 
@@ -84,13 +104,20 @@ let fetch t addr =
 
 (* The interpreter's per-step fetch: a bounds-checked read of the
    predecoded instruction array, no [Option] box. Out-of-image or
-   misaligned PCs raise the same fault [Machine.step] used to build. *)
+   misaligned PCs raise the per-image preformatted trap — the old
+   [Printf.sprintf] here allocated and formatted on every raise, which
+   the fuzz campaigns hit constantly (every wild-PC program ends in this
+   trap). *)
 let fetch_exn t addr =
   let off = Int64.sub addr code_base in
   if Int64.logand off 3L <> 0L
      || Int64.unsigned_compare off (Int64.of_int (4 * Array.length t.code)) >= 0
-  then raise (Trap.Fault (Trap.Undefined (Printf.sprintf "fetch outside code at %Lx" addr)))
+  then raise t.fetch_trap
   else Array.unsafe_get t.code (Int64.to_int off lsr 2)
+
+let instructions t = t.code
+let cache t = t.cache
+let set_cache t c = t.cache <- Some c
 
 let symbol t name = Hashtbl.find_opt t.globals name
 

@@ -25,8 +25,22 @@ val fetch : t -> Pacstack_util.Word64.t -> Pacstack_isa.Instr.t option
 
 val fetch_exn : t -> Pacstack_util.Word64.t -> Pacstack_isa.Instr.t
 (** Allocation-free fetch for the step loop: indexes the predecoded
-    instruction array at [(addr − code_base) / 4]; raises
-    [Trap.Fault (Trap.Undefined _)] outside the image or misaligned. *)
+    instruction array at [(addr − code_base) / 4]; raises a per-image
+    preformatted [Trap.Fault (Trap.Undefined _)] outside the image or
+    misaligned (the raise path allocates nothing). *)
+
+val instructions : t -> Pacstack_isa.Instr.t array
+(** The predecoded instruction array, indexed by [(pc − code_base) / 4].
+    Callers must not mutate it — it is the image's single source of
+    truth for {!fetch}/{!fetch_exn}. *)
+
+type cache = ..
+(** Slot for engine-compiled artifacts derived from this (immutable)
+    image — the machine's threaded-code ops array. Extensible so the
+    machine layer can define the payload without a dependency cycle. *)
+
+val cache : t -> cache option
+val set_cache : t -> cache -> unit
 
 val symbol : t -> string -> Pacstack_util.Word64.t option
 (** Address of a global symbol (function or data object). *)

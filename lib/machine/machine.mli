@@ -64,7 +64,16 @@ val set_forward_cfi : t -> bool -> unit
 
 val set_tracer : t -> (t -> Pacstack_isa.Instr.t -> unit) option -> unit
 (** Per-instruction observer invoked before execution (PC still points at
-    the instruction). Used by {!Profile}; [None] removes it. *)
+    the instruction). Used by {!Profile}; [None] removes it.
+
+    The tracer is an observer: it must not change control state (PC,
+    halted) or the page table. The threaded engine resolves the next
+    instruction when the image is compiled and chains compiled ops
+    without consulting PC between straight-line instructions, so a
+    tracer that moved PC or halted the machine mid-step would be seen
+    by the reference engine and missed by the threaded one. Mutating
+    registers, flags or mapped data memory is fine — both engines apply
+    the tracer at the same point. *)
 
 val set_obs_label : t -> string -> unit
 (** Attribution label for the lib/obs metrics this machine publishes at
@@ -94,7 +103,16 @@ val push_output : t -> int64 -> unit
 (** {1 Execution} *)
 
 val step : t -> unit
-(** Executes one instruction; raises {!Trap.Fault}. No-op once halted. *)
+(** Executes one instruction; raises {!Trap.Fault}. No-op once halted.
+
+    Dispatches through the threaded-code engine: the image is compiled
+    once into an array of per-instruction closures (operands, cycle
+    costs, mem_ops deltas, branch targets and obs classification all
+    resolved at compile time) and the per-step translate/execute check
+    is a page-granular cache invalidated by any
+    [Memory.map]/[unmap]/[protect]. Observable behaviour is
+    bit-identical to {!Reference.step} — pinned by the differential
+    suite in test_engine.ml. *)
 
 type outcome = Halted of int | Faulted of Trap.t | Out_of_fuel
 
@@ -108,6 +126,17 @@ val run_until : ?fuel:int -> t -> stop:(t -> bool) -> outcome option
     halted, faulted or ran out of fuel first. Fault injection uses this
     to reach a trigger point mid-run, mutate state, and continue with
     {!run}. *)
+
+(** The original fetch-then-match interpreter, kept verbatim as the
+    oracle for the threaded engine (the [Qarma64.Reference] pattern):
+    same machine state, same traps, same counters, one instruction
+    dispatch at a time. The engines may be interleaved freely on one
+    machine — they share all state and differ only in dispatch. *)
+module Reference : sig
+  val step : t -> unit
+  val run : ?fuel:int -> t -> outcome
+  val run_until : ?fuel:int -> t -> stop:(t -> bool) -> outcome option
+end
 
 val pp_state : Format.formatter -> t -> unit
 (** One-line register dump for diagnostics. *)

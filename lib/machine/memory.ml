@@ -40,6 +40,11 @@ type t = {
      mem_ops/instret — so the TLB hit path stays untouched. *)
   mutable tlb_d_miss : int;
   mutable tlb_x_miss : int;
+  (* Bumped by every map/unmap/protect. External caches derived from
+     the page table (the machine's page-granular execute cache) compare
+     this against their snapshot instead of subscribing to
+     invalidations — same discipline as the one-entry TLBs above. *)
+  mutable generation : int;
 }
 
 let no_page = { data = zero_page; perm = perm_none }
@@ -53,13 +58,17 @@ let create () =
     tlb_x_page = no_page;
     tlb_d_miss = 0;
     tlb_x_miss = 0;
+    generation = 0;
   }
 
 let invalidate_tlb t =
   t.tlb_d_idx <- -1L;
   t.tlb_d_page <- no_page;
   t.tlb_x_idx <- -1L;
-  t.tlb_x_page <- no_page
+  t.tlb_x_page <- no_page;
+  t.generation <- t.generation + 1
+
+let generation t = t.generation
 
 let page_index addr = Int64.shift_right_logical addr page_bits
 let page_offset addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 1)))
@@ -261,9 +270,45 @@ let copy t =
     tlb_x_page = no_page;
     tlb_d_miss = 0;
     tlb_x_miss = 0;
+    generation = 0;
   }
 
 let tlb_misses t = (t.tlb_d_miss, t.tlb_x_miss)
+
+(* FNV-1a over the mapped pages in index order: permissions and contents
+   both feed the hash, so two memories digest equal iff they are
+   observably identical. Page contents hash position-independently (a
+   fold from a fixed seed), letting the shared [zero_page]'s hash be
+   computed once and reused for every still-pristine page. *)
+let fnv_prime = 0x100000001b3L
+let fnv_seed = 0xcbf29ce484222325L
+let fnv_mix h v = Int64.mul (Int64.logxor h v) fnv_prime
+
+let hash_page_data data =
+  let h = ref fnv_seed in
+  for i = 0 to (page_size / 8) - 1 do
+    h := fnv_mix !h (Bytes.get_int64_le data (i * 8))
+  done;
+  !h
+
+let zero_page_hash = lazy (hash_page_data zero_page)
+
+let digest t =
+  let idxs = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
+  let idxs = List.sort Int64.unsigned_compare idxs in
+  List.fold_left
+    (fun h idx ->
+      let p = Hashtbl.find t.pages idx in
+      let perm_bits =
+        (if p.perm.readable then 1 else 0)
+        lor (if p.perm.writable then 2 else 0)
+        lor if p.perm.executable then 4 else 0
+      in
+      let content =
+        if p.data == zero_page then Lazy.force zero_page_hash else hash_page_data p.data
+      in
+      fnv_mix (fnv_mix (fnv_mix h idx) (Int64.of_int perm_bits)) content)
+    fnv_seed idxs
 
 let mapped_ranges t =
   let idxs = Hashtbl.fold (fun k p acc -> (k, p.perm) :: acc) t.pages [] in

@@ -22,6 +22,7 @@ type t
 val create : unit -> t
 
 val page_size : int
+val page_bits : int
 
 val map : t -> addr:Pacstack_util.Word64.t -> size:int -> perm -> unit
 (** Maps (and zeroes) the pages covering [\[addr, addr+size)]. Raises
@@ -72,3 +73,18 @@ val tlb_misses : t -> int * int
 
 val mapped_ranges : t -> (Pacstack_util.Word64.t * int * perm) list
 (** Sorted list of (start, size, perm) for each maximal mapped run. *)
+
+val generation : t -> int
+(** Monotonic counter bumped by every {!map}/{!unmap}/{!protect}. A cache
+    derived from the page table (e.g. the machine's per-code-page execute
+    check) records the generation it was built at and refills when the
+    counter moves — the same invalidation discipline as the internal
+    one-entry TLBs. Restarts at zero in a {!copy}, so cache holders must
+    treat a copied memory as fresh (use an impossible sentinel, not 0). *)
+
+val digest : t -> Pacstack_util.Word64.t
+(** Order-independent fingerprint of the full memory state: mapped page
+    indices, their permissions and their contents. Two memories digest
+    equal iff every observable load/permission query agrees; used by the
+    engine differential suite to compare end states without enumerating
+    addresses. *)

@@ -9,6 +9,6 @@ let make ?(va_size = 39) ?pac_bits () =
 
 let default = make ()
 let with_pac_bits t bits = make ~va_size:t.va_size ~pac_bits:bits ()
-let pac_lo t = t.va_size
-let error_bit _ = 63
+let[@inline] pac_lo t = t.va_size
+let[@inline] error_bit _ = 63
 let pp fmt t = Format.fprintf fmt "va_size=%d pac_bits=%d" t.va_size t.pac_bits

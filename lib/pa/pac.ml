@@ -3,10 +3,10 @@ module Prf = Pacstack_qarma.Prf
 
 type result = Valid of Pointer.t | Invalid of Pointer.t
 
-let compute cfg prf ~address ~modifier =
+let[@inline] compute cfg prf ~address ~modifier =
   Prf.mac prf ~bits:(cfg : Config.t).pac_bits ~data:(Pointer.address cfg address) ~modifier
 
-let add cfg prf p ~modifier =
+let[@inline] add cfg prf p ~modifier =
   let stripped = Pointer.address cfg p in
   let pac = compute cfg prf ~address:stripped ~modifier in
   (* A pointer whose upper bits are not canonical is signed as if they
@@ -14,7 +14,7 @@ let add cfg prf p ~modifier =
   let pac = if Pointer.is_canonical cfg p then pac else Word64.flip_bit pac 0 in
   Pointer.with_pac_field cfg stripped pac
 
-let auth cfg prf p ~modifier =
+let[@inline] auth cfg prf p ~modifier =
   let stripped = Pointer.address cfg p in
   let expected = compute cfg prf ~address:stripped ~modifier in
   let embedded = Pointer.pac_field cfg p in
@@ -25,6 +25,6 @@ let auth cfg prf p ~modifier =
 
 let strip = Pointer.address
 
-let generic _cfg prf v ~modifier =
+let[@inline] generic _cfg prf v ~modifier =
   let mac = Prf.mac prf ~bits:32 ~data:v ~modifier in
   Int64.shift_left mac 32

@@ -2,22 +2,22 @@ module Word64 = Pacstack_util.Word64
 
 type t = Word64.t
 
-let address (cfg : Config.t) p = Word64.extract p ~lo:0 ~width:cfg.va_size
+let[@inline] address (cfg : Config.t) p = Word64.extract p ~lo:0 ~width:cfg.va_size
 
 (* Equivalent to [extract ~lo:va_size ~width:(64 - va_size) = 0L] but
    branch-free: this runs once per simulated instruction and once per
    memory access (va_size ≤ 52, so the shift count is always valid). *)
-let is_canonical (cfg : Config.t) p =
+let[@inline] is_canonical (cfg : Config.t) p =
   Int64.equal (Int64.shift_right_logical p cfg.va_size) 0L
 
-let pac_field (cfg : Config.t) p =
+let[@inline] pac_field (cfg : Config.t) p =
   Word64.extract p ~lo:(Config.pac_lo cfg) ~width:cfg.pac_bits
 
-let with_pac_field (cfg : Config.t) p v =
+let[@inline] with_pac_field (cfg : Config.t) p v =
   Word64.insert p ~lo:(Config.pac_lo cfg) ~width:cfg.pac_bits v
 
-let set_error cfg p = Word64.set_bit (address cfg p) (Config.error_bit cfg) true
-let has_error cfg p = Word64.bit p (Config.error_bit cfg)
+let[@inline] set_error cfg p = Word64.set_bit (address cfg p) (Config.error_bit cfg) true
+let[@inline] has_error cfg p = Word64.bit p (Config.error_bit cfg)
 
 let auth_split cfg p = (pac_field cfg p, address cfg p)
 

@@ -16,12 +16,12 @@ let of_rng ?(fast = false) ?rounds rng =
   else create ?rounds (Qarma64.random_key rng)
 
 (* SplitMix64 finalizer: a high-quality 64-bit mixer. *)
-let mix z =
+let[@inline] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let mac64 t ~data ~modifier =
+let[@inline] mac64 t ~data ~modifier =
   match t with
   | Qarma { ctx; _ } -> Qarma64.encrypt_ctx ctx ~tweak:modifier data
   | Fast secret ->
@@ -30,7 +30,7 @@ let mac64 t ~data ~modifier =
     let b = mix (Int64.logxor modifier (Int64.add secret 0x9e3779b97f4a7c15L)) in
     mix (Int64.logxor a (Word64.rotl b 17))
 
-let mac t ~bits ~data ~modifier =
+let[@inline] mac t ~bits ~data ~modifier =
   if bits < 1 || bits > 32 then invalid_arg "Prf.mac: bits";
   Int64.logand (mac64 t ~data ~modifier) (Word64.mask bits)
 

@@ -3,33 +3,33 @@ type t = int64
 let equal = Int64.equal
 let compare = Int64.unsigned_compare
 
-let mask n =
+let[@inline] mask n =
   if n < 0 || n > 64 then invalid_arg "Word64.mask"
   else if n = 64 then -1L
   else Int64.sub (Int64.shift_left 1L n) 1L
 
-let bit w i =
+let[@inline] bit w i =
   if i < 0 || i > 63 then invalid_arg "Word64.bit"
   else Int64.logand (Int64.shift_right_logical w i) 1L = 1L
 
-let set_bit w i v =
+let[@inline] set_bit w i v =
   let m = Int64.shift_left 1L i in
   if v then Int64.logor w m else Int64.logand w (Int64.lognot m)
 
-let flip_bit w i = Int64.logxor w (Int64.shift_left 1L i)
+let[@inline] flip_bit w i = Int64.logxor w (Int64.shift_left 1L i)
 
-let extract w ~lo ~width =
+let[@inline] extract w ~lo ~width =
   if lo < 0 || width < 0 || lo + width > 64 then invalid_arg "Word64.extract"
   else Int64.logand (Int64.shift_right_logical w lo) (mask width)
 
-let insert w ~lo ~width v =
+let[@inline] insert w ~lo ~width v =
   if lo < 0 || width < 0 || lo + width > 64 then invalid_arg "Word64.insert"
   else
     let m = Int64.shift_left (mask width) lo in
     let v = Int64.shift_left (Int64.logand v (mask width)) lo in
     Int64.logor (Int64.logand w (Int64.lognot m)) v
 
-let rotl w n =
+let[@inline] rotl w n =
   let n = ((n mod 64) + 64) mod 64 in
   if n = 0 then w
   else Int64.logor (Int64.shift_left w n) (Int64.shift_right_logical w (64 - n))

@@ -1,0 +1,286 @@
+(* Differential suite pinning the threaded-code engine to the reference
+   interpreter.  [Machine.run]/[step] dispatch through per-image compiled
+   closures (machine.ml, "threaded-code compilation"); [Machine.Reference]
+   is the original fetch-then-match loop kept as the oracle.  Everything
+   observable must be bit-identical across the two: outcome, trap, every
+   register, flags, pc, all counters, program output, the full memory
+   state (via [Memory.digest]) and the per-instruction pc trace.
+
+   The suite also pins the execute-check invalidation: the threaded
+   engine caches per-code-page execute permission keyed by
+   [Memory.generation], so a [protect]/[unmap] of a code page — from
+   outside a run or from a hook in mid-run — must trap exactly like the
+   reference. *)
+
+module Machine = Pacstack_machine.Machine
+module Memory = Pacstack_machine.Memory
+module Image = Pacstack_machine.Image
+module Trap = Pacstack_machine.Trap
+module Scheme = Pacstack_harden.Scheme
+module Compile = Pacstack_minic.Compile
+module Driver = Pacstack_fuzz.Driver
+module Program = Pacstack_isa.Program
+module Instr = Pacstack_isa.Instr
+module Reg = Pacstack_isa.Reg
+module Word64 = Pacstack_util.Word64
+
+let campaign_seed = 1L (* same stream as the tier-1 fuzz smoke *)
+let fuel = 100_000
+
+(* --- everything observable about a finished run ----------------------- *)
+
+type snap = {
+  outcome : Machine.outcome;
+  cycles : int;
+  instret : int;
+  mem_ops : int;
+  pc : int64;
+  regs : int64 list; (* X0..X30, SP *)
+  flags : Pacstack_isa.Cond.flags;
+  output : int64 list;
+  mem_digest : int64;
+  trace_len : int;
+  trace_hash : int64;
+}
+
+let fnv h v = Int64.mul (Int64.logxor h v) 0x100000001b3L
+
+let snap_of m outcome ~trace_len ~trace_hash =
+  {
+    outcome;
+    cycles = Machine.cycles m;
+    instret = Machine.instructions_retired m;
+    mem_ops = Machine.memory_operations m;
+    pc = Machine.pc m;
+    regs =
+      List.init 31 (fun i -> Machine.get m (Reg.X i)) @ [ Machine.get m Reg.SP ];
+    flags = Machine.flags m;
+    output = Machine.output m;
+    mem_digest = Memory.digest (Machine.memory m);
+    trace_len;
+    trace_hash;
+  }
+
+let observe runf program =
+  let m = Machine.load program in
+  let h = ref 0xcbf29ce484222325L in
+  let n = ref 0 in
+  Machine.set_tracer m (Some (fun m _ -> incr n; h := fnv !h (Machine.pc m)));
+  let outcome = runf m in
+  snap_of m outcome ~trace_len:!n ~trace_hash:!h
+
+let outcome_equal a b =
+  match a, b with
+  | Machine.Halted x, Machine.Halted y -> x = y
+  | Machine.Faulted f, Machine.Faulted g -> Trap.equal f g
+  | Machine.Out_of_fuel, Machine.Out_of_fuel -> true
+  | _ -> false
+
+let pp_outcome fmt = function
+  | Machine.Halted c -> Format.fprintf fmt "halted(%d)" c
+  | Machine.Faulted f -> Format.fprintf fmt "faulted(%a)" Trap.pp f
+  | Machine.Out_of_fuel -> Format.fprintf fmt "out-of-fuel"
+
+let check_same ~what a b =
+  if not (outcome_equal a.outcome b.outcome) then
+    Alcotest.failf "%s: outcome %a vs %a" what pp_outcome a.outcome pp_outcome
+      b.outcome;
+  if a.cycles <> b.cycles then
+    Alcotest.failf "%s: cycles %d vs %d" what a.cycles b.cycles;
+  if a.instret <> b.instret then
+    Alcotest.failf "%s: instret %d vs %d" what a.instret b.instret;
+  if a.mem_ops <> b.mem_ops then
+    Alcotest.failf "%s: mem_ops %d vs %d" what a.mem_ops b.mem_ops;
+  if not (Int64.equal a.pc b.pc) then
+    Alcotest.failf "%s: pc %Lx vs %Lx" what a.pc b.pc;
+  if a.regs <> b.regs then Alcotest.failf "%s: register file differs" what;
+  if a.flags <> b.flags then Alcotest.failf "%s: flags differ" what;
+  if a.output <> b.output then Alcotest.failf "%s: output differs" what;
+  if not (Int64.equal a.mem_digest b.mem_digest) then
+    Alcotest.failf "%s: memory digest %Lx vs %Lx" what a.mem_digest b.mem_digest;
+  if a.trace_len <> b.trace_len then
+    Alcotest.failf "%s: trace length %d vs %d" what a.trace_len b.trace_len;
+  if not (Int64.equal a.trace_hash b.trace_hash) then
+    Alcotest.failf "%s: pc-trace hash differs over %d steps" what a.trace_len
+
+(* --- 200 fuzz programs x 6 schemes, full-run equivalence --------------- *)
+
+let test_differential () =
+  for seed = 0 to 199 do
+    let ast = Driver.program_of_seed ~campaign_seed seed in
+    List.iter
+      (fun scheme ->
+        let program = Compile.compile ~scheme ast in
+        let threaded = observe (fun m -> Machine.run ~fuel m) program in
+        let reference = observe (fun m -> Machine.Reference.run ~fuel m) program in
+        let what =
+          Format.asprintf "seed %d / %a" seed Scheme.pp scheme
+        in
+        check_same ~what threaded reference)
+      Scheme.all
+  done
+
+(* --- single-step lockstep: [step] vs [Reference.step] ------------------ *)
+
+let test_step_lockstep () =
+  for seed = 0 to 19 do
+    let program =
+      Compile.compile ~scheme:Scheme.pacstack
+        (Driver.program_of_seed ~campaign_seed seed)
+    in
+    let a = Machine.load program in
+    let b = Machine.load program in
+    let steps = ref 0 in
+    let continue = ref true in
+    while !continue && !steps < 5_000 do
+      incr steps;
+      let ta = try Machine.step a; None with Trap.Fault f -> Some f in
+      let tb = try Machine.Reference.step b; None with Trap.Fault f -> Some f in
+      (match ta, tb with
+      | None, None -> ()
+      | Some f, Some g when Trap.equal f g -> continue := false
+      | _ -> Alcotest.failf "seed %d: trap divergence at step %d" seed !steps);
+      if not (Int64.equal (Machine.pc a) (Machine.pc b)) then
+        Alcotest.failf "seed %d: pc %Lx vs %Lx at step %d" seed (Machine.pc a)
+          (Machine.pc b) !steps;
+      if Machine.cycles a <> Machine.cycles b then
+        Alcotest.failf "seed %d: cycle divergence at step %d" seed !steps;
+      if Machine.halted a <> None then continue := false
+    done
+  done
+
+(* --- run_until: pause points and stop-call counts must agree ----------- *)
+
+let test_run_until_pauses () =
+  for seed = 0 to 19 do
+    let program =
+      Compile.compile ~scheme:Scheme.pacstack
+        (Driver.program_of_seed ~campaign_seed seed)
+    in
+    let run_one runf untilf =
+      let m = Machine.load program in
+      let calls = ref 0 in
+      let stop m = incr calls; Machine.instructions_retired m >= 700 in
+      let paused = untilf m ~stop in
+      let mid = (Machine.pc m, Machine.instructions_retired m, !calls) in
+      (* resume to the end with a plain run *)
+      let final = match paused with None -> Some (runf m) | some -> some in
+      (paused = None, mid, final)
+    in
+    let pa, mida, fina =
+      run_one (fun m -> Machine.run ~fuel m) (Machine.run_until ~fuel)
+    in
+    let pb, midb, finb =
+      run_one
+        (fun m -> Machine.Reference.run ~fuel m)
+        (Machine.Reference.run_until ~fuel)
+    in
+    if pa <> pb then Alcotest.failf "seed %d: one engine paused, one did not" seed;
+    if mida <> midb then
+      Alcotest.failf "seed %d: pause state differs (pc/instret/stop-calls)" seed;
+    match fina, finb with
+    | Some oa, Some ob when outcome_equal oa ob -> ()
+    | _ -> Alcotest.failf "seed %d: final outcome differs after resume" seed
+  done
+
+(* --- execute-check invalidation --------------------------------------- *)
+
+(* [n] straight-line marker instructions then hlt: long enough to cross
+   into the second code page (1024 instructions per 4 KiB page). *)
+let straightline n =
+  Program.make ~entry:"main"
+    [
+      {
+        Program.name = "main";
+        body =
+          List.init n (fun _ -> Program.Ins (Instr.Mov (Reg.X 1, Instr.Imm 7L)))
+          @ [ Program.Ins Instr.Hlt ];
+      };
+    ]
+
+let page2 = Int64.add Image.code_base (Int64.of_int Memory.page_size)
+
+let both_engines f =
+  f "threaded" Machine.step (fun m -> Machine.run ~fuel m);
+  f "reference" Machine.Reference.step (fun m -> Machine.Reference.run ~fuel m)
+
+let test_protect_mid_run () =
+  both_engines (fun name step run ->
+    let m = Machine.load (straightline 1500) in
+    for _ = 1 to 500 do step m done;
+    (* revoke execute on the second code page while paused in the first *)
+    Memory.protect (Machine.memory m) ~addr:page2 ~size:Memory.page_size
+      Memory.perm_r;
+    (match run m with
+    | Machine.Faulted (Trap.Permission (a, Trap.Execute)) ->
+      Alcotest.(check int64) (name ^ ": faulting pc") page2 a;
+      Alcotest.(check int64) (name ^ ": pc at fault") page2 (Machine.pc m);
+      Alcotest.(check int) (name ^ ": steps before fault") 1024
+        (Machine.instructions_retired m)
+    | oc -> Alcotest.failf "%s: expected execute fault, got %a" name pp_outcome oc);
+    (* restore execute: the cached check must revalidate and finish *)
+    Memory.protect (Machine.memory m) ~addr:page2 ~size:Memory.page_size
+      Memory.perm_rx;
+    match run m with
+    | Machine.Halted 0 -> ()
+    | oc -> Alcotest.failf "%s: expected halt after restore, got %a" name pp_outcome oc)
+
+let test_unmap_mid_run () =
+  both_engines (fun name step run ->
+    let m = Machine.load (straightline 1500) in
+    for _ = 1 to 500 do step m done;
+    Memory.unmap (Machine.memory m) ~addr:page2 ~size:Memory.page_size;
+    match run m with
+    | Machine.Faulted (Trap.Unmapped (a, Trap.Execute)) ->
+      Alcotest.(check int64) (name ^ ": faulting pc") page2 a
+    | oc -> Alcotest.failf "%s: expected unmapped fault, got %a" name pp_outcome oc)
+
+let test_hook_protects_own_page () =
+  (* a hook revokes execute on the page it runs in: the very next
+     instruction must fault, on both engines, even though the run loop
+     never left [run] between the hook and the fault *)
+  both_engines (fun name _step run ->
+    let program =
+      Program.make ~entry:"main"
+        [
+          {
+            Program.name = "main";
+            body =
+              [
+                Program.Ins (Instr.Hook "mprot");
+                Program.Ins Instr.Nop;
+                Program.Ins Instr.Hlt;
+              ];
+          };
+        ]
+    in
+    let m = Machine.load program in
+    Machine.attach_hook m "mprot" (fun m ->
+        Memory.protect (Machine.memory m) ~addr:Image.code_base
+          ~size:Memory.page_size Memory.perm_r);
+    match run m with
+    | Machine.Faulted (Trap.Permission (_, Trap.Execute)) ->
+      Alcotest.(check int) (name ^ ": faulted on the next instruction") 1
+        (Machine.instructions_retired m)
+    | oc -> Alcotest.failf "%s: expected execute fault, got %a" name pp_outcome oc)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "200 seeds x 6 schemes bit-identical" `Quick
+            test_differential;
+          Alcotest.test_case "step lockstep" `Quick test_step_lockstep;
+          Alcotest.test_case "run_until pauses identically" `Quick
+            test_run_until_pauses;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "protect revokes execute mid-run" `Quick
+            test_protect_mid_run;
+          Alcotest.test_case "unmap traps mid-run" `Quick test_unmap_mid_run;
+          Alcotest.test_case "hook protects its own page" `Quick
+            test_hook_protects_own_page;
+        ] );
+    ]
