@@ -47,7 +47,7 @@ let list_member name v =
   | Some l -> l
   | None -> fail "field %S is not a list in %s" name (Json.to_string v)
 
-(* --- the BENCH_08.json schema ------------------------------------------- *)
+(* --- the BENCH_09.json schema ------------------------------------------- *)
 
 let check_section s =
   let name = str_member "name" s in
@@ -81,7 +81,7 @@ let check_bench path =
     | Error e -> fail "%s does not parse: %s" path e
   in
   let version = int_member "schema_version" doc in
-  if version <> 3 then fail "schema_version %d, expected 3" version;
+  if version <> 4 then fail "schema_version %d, expected 4" version;
   if str_member "bench" doc <> "pacstack-hot-path" then fail "unexpected bench id";
   (match str_member "mode" doc with
   | "quick" | "full" -> ()
@@ -99,13 +99,22 @@ let check_bench path =
     fail "campaign_overhead: bad raw_ns_per_fault";
   if not (Float.is_finite engine && engine > 0.) then
     fail "campaign_overhead: bad engine_ns_per_fault";
+  let alloc = require_member "alloc_residuals" doc in
+  List.iter
+    (fun k ->
+      let v = float_member k alloc in
+      if not (Float.is_finite v && v >= 0.) then fail "alloc_residuals: bad %s" k)
+    [
+      "alu_words_per_step"; "cmp_words_per_step"; "pac_words_per_step";
+      "unprotected_words_per_step";
+    ];
   let sections = List.map check_section (list_member "sections" doc) in
   List.iter
     (fun required ->
       if not (List.mem required sections) then fail "missing section %S" required)
     [
-      "qarma_mac_fast"; "machine_step"; "machine_step_threaded"; "machine_load";
-      "fuzz_program"; "inject_fault";
+      "qarma_mac_fast"; "machine_step"; "machine_step_threaded";
+      "machine_step_registry"; "machine_load"; "fuzz_program"; "inject_fault";
       "scheduler_event"; "fleet_request";
     ];
   (match require_member "gates" doc with

@@ -27,8 +27,9 @@ let scheme_conv =
 
 let scheme_arg =
   let doc =
-    "Hardening scheme: baseline, stack-protector-strong, branch-protection, \
-     shadow-call-stack, pacstack-nomask or pacstack."
+    "Hardening scheme: any registered name (baseline, stack-protector-strong, \
+     branch-protection, shadow-call-stack, pacstack-nomask, pacstack, pcan, \
+     zipper-stack, pactight or parts)."
   in
   Arg.(value & opt scheme_conv Scheme.pacstack & info [ "s"; "scheme" ] ~doc)
 
@@ -88,7 +89,7 @@ let bench_cmd =
       1
     | Some bench ->
       let variant = if speed then Speclike.Speed else Speclike.Rate in
-      let baseline = Speclike.measure ~scheme:Scheme.Unprotected variant bench in
+      let baseline = Speclike.measure ~scheme:Scheme.unprotected variant bench in
       let m = Speclike.measure ~scheme variant bench in
       Printf.printf "%s (%s) under %s: %d cycles, %d instructions, checksum %Ld\n" name
         (Speclike.variant_to_string variant)
@@ -303,7 +304,7 @@ let fuzz_cmd =
     Arg.(
       value
       & opt (some scheme_conv) None
-      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: all six).")
+      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: every registered scheme).")
   in
   let no_peephole =
     Arg.(value & flag & info [ "no-peephole" ] ~doc:"Only compile with the peephole optimizer off.")
@@ -412,7 +413,7 @@ let inject_cmd =
     Arg.(
       value
       & opt (some scheme_conv) None
-      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: all six).")
+      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: every registered scheme).")
   in
   let pac_bits =
     Arg.(
@@ -674,7 +675,7 @@ let fleet_cmd =
     Arg.(
       value
       & opt (some scheme_conv) None
-      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: all six).")
+      & info [ "s"; "scheme" ] ~doc:"Restrict to one hardening scheme (default: every registered scheme).")
   in
   let resume =
     Arg.(

@@ -13,11 +13,11 @@ let () =
   List.iter
     (fun workers ->
       Printf.printf "%d workers:\n" workers;
-      let baseline = Server.measure ~scheme:Scheme.Unprotected ~workers () in
+      let baseline = Server.measure ~scheme:Scheme.unprotected ~workers () in
       List.iter
         (fun scheme ->
           let r =
-            if Scheme.equal scheme Scheme.Unprotected then baseline
+            if Scheme.equal scheme Scheme.unprotected then baseline
             else Server.measure ~scheme ~workers ()
           in
           Printf.printf "  %-18s %8.1fk req/s (sigma %4.0f)  %5.1f%% slower  [%7.0f cycles, %5.0f mem ops per request]\n"
@@ -26,7 +26,7 @@ let () =
             r.Server.sigma
             (Server.overhead_pct ~baseline r)
             r.Server.cycles_per_request r.Server.mem_ops_per_request)
-        [ Scheme.Unprotected; Scheme.pacstack_nomask; Scheme.pacstack ])
+        [ Scheme.unprotected; Scheme.pacstack_nomask; Scheme.pacstack ])
     [ 4; 8 ];
   print_endline
     "\nAs in the paper, the per-request cost of PACStack is a few percent, and the\n\

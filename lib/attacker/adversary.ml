@@ -5,8 +5,19 @@ module Image = Pacstack_machine.Image
 module Trap = Pacstack_machine.Trap
 module Reg = Pacstack_isa.Reg
 module Scenarios = Pacstack_workloads.Scenarios
+module Scheme = Pacstack_harden.Scheme
 
 type outcome = Hijacked | Bent | Detected of string | No_effect
+
+exception Benign_run_failed of { scheme : Scheme.t; outcome : string }
+
+let () =
+  Printexc.register_printer (function
+    | Benign_run_failed { scheme; outcome } ->
+      Some
+        (Printf.sprintf "Adversary.Benign_run_failed(scheme %s: %s)"
+           (Scheme.to_string scheme) outcome)
+    | _ -> None)
 
 let outcome_to_string = function
   | Hijacked -> "HIJACKED"
@@ -54,5 +65,6 @@ let benign_output scheme program =
   let m = Machine.load compiled in
   match Machine.run ~fuel:10_000_000 m with
   | Machine.Halted _ -> Machine.output m
-  | Machine.Faulted f -> failwith ("benign run faulted: " ^ Trap.to_string f)
-  | Machine.Out_of_fuel -> failwith "benign run out of fuel"
+  | Machine.Faulted f ->
+    raise (Benign_run_failed { scheme; outcome = "benign run faulted: " ^ Trap.to_string f })
+  | Machine.Out_of_fuel -> raise (Benign_run_failed { scheme; outcome = "benign run out of fuel" })

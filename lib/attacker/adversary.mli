@@ -9,6 +9,11 @@ type outcome =
   | Detected of string  (** fault or canary abort stopped the attack *)
   | No_effect  (** trace identical to the benign run *)
 
+exception
+  Benign_run_failed of { scheme : Pacstack_harden.Scheme.t; outcome : string }
+(** Raised by {!benign_output} when the unattacked victim run does not
+    halt cleanly — the victim/scheme pair is broken, not the attack. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
 val outcome_to_string : outcome -> string
 val equal_outcome : outcome -> outcome -> bool

@@ -16,10 +16,17 @@ type target =
   | Entry_of_evil  (** a legitimate function entry the victim never calls *)
   | Mid_function  (** an address inside a function body *)
 
-val attack : cfi:bool -> target -> Adversary.outcome
-(** Runs the dispatch victim under PACStack with assumption A2 enforced
-    ([cfi = true]) or dropped, the adversary rewriting the dispatch
-    table. *)
+val attack :
+  ?scheme:Pacstack_harden.Scheme.t -> cfi:bool -> target -> Adversary.outcome
+(** Runs the dispatch victim (default scheme: PACStack) with assumption
+    A2 enforced ([cfi = true]) or dropped, the adversary rewriting the
+    dispatch table. *)
 
 val summary : unit -> ((bool * target) * Adversary.outcome) list
-(** All four combinations. *)
+(** All four CFI x target combinations under PACStack. *)
+
+val sealing_summary :
+  unit -> ((Pacstack_harden.Scheme.t * target) * Adversary.outcome) list
+(** The pointer-sealing schemes (PACTight, PARTS) against both targets
+    with the coarse CFI {e disabled}: authentication at the call site is
+    the only line of defence. *)

@@ -30,7 +30,7 @@ let gadget_forges_valid_pointer cfg prf ~target ~modifier =
   | Pac.Invalid _ -> false
 
 let tail_call_attack ~masked =
-  let scheme = Scheme.Pacstack { masked } in
+  let scheme = if masked then Scheme.pacstack else Scheme.pacstack_nomask in
   let victim = Scenarios.tail_call_victim in
   let expected = Adversary.benign_output scheme victim in
   let program = Compile.compile ~scheme victim in

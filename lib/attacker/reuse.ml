@@ -3,8 +3,19 @@ module Machine = Pacstack_machine.Machine
 module Scheme = Pacstack_harden.Scheme
 module Compile = Pacstack_minic.Compile
 module Scenarios = Pacstack_workloads.Scenarios
+module Surface = Pacstack_harden.Surface
 
 type strategy = Arbitrary_redirect | Sibling_reuse | Linear_overflow
+
+exception Missing_evil_function of { symbol : string; scheme : Scheme.t }
+
+let () =
+  Printexc.register_printer (function
+    | Missing_evil_function { symbol; scheme } ->
+      Some
+        (Printf.sprintf "Reuse.Missing_evil_function(victim has no %S under scheme %s)" symbol
+           (Scheme.to_string scheme))
+    | _ -> None)
 
 let strategy_to_string = function
   | Arbitrary_redirect -> "arbitrary redirect"
@@ -36,28 +47,33 @@ let inject ~scheme ~strategy m loot =
     let evil =
       match Adversary.symbol m "evil" with
       | Some a -> a
-      | None -> failwith "victim has no evil function"
+      | None -> raise (Missing_evil_function { symbol = "evil"; scheme })
     in
     let poke addr v = ignore (Adversary.write m addr v) in
-    match strategy with
-    | Arbitrary_redirect -> (
-      poke (Adversary.return_slot m) evil;
-      (match scheme with
-      | Scheme.Pacstack _ -> poke (Adversary.chain_slot m) evil
-      | Scheme.Shadow_stack -> (
+    (* besides the saved LR, hit whatever extra word the scheme's
+       epilogue derives the return target from *)
+    let poke_control_slot v =
+      match Surface.control_slot scheme with
+      | Surface.Return_slot -> ()
+      | Surface.Chain_slot -> Option.iter (fun x -> poke (Adversary.chain_slot m) x) v
+      | Surface.Shadow_slot -> (
         match Adversary.shadow_top_slot m with
-        | Some slot -> poke slot evil
+        | Some slot -> Option.iter (poke slot) v
         | None -> ())
-      | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection -> ()))
+    in
+    match strategy with
+    | Arbitrary_redirect ->
+      poke (Adversary.return_slot m) evil;
+      poke_control_slot (Some evil)
     | Sibling_reuse -> (
       Option.iter (poke (Adversary.return_slot m)) loot.ret_value;
-      (match scheme with
-      | Scheme.Pacstack _ -> Option.iter (poke (Adversary.chain_slot m)) loot.chain_value
-      | Scheme.Shadow_stack -> (
+      match Surface.control_slot scheme with
+      | Surface.Return_slot -> ()
+      | Surface.Chain_slot -> Option.iter (poke (Adversary.chain_slot m)) loot.chain_value
+      | Surface.Shadow_slot -> (
         match Adversary.shadow_top_slot m with
         | Some slot -> Option.iter (poke slot) loot.shadow_value
-        | None -> ())
-      | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection -> ()))
+        | None -> ()))
     | Linear_overflow ->
       (* a contiguous sled from below b's locals up through the frame
          record — trampling buffers, spill slots, the canary, the PACStack
@@ -72,8 +88,8 @@ let inject ~scheme ~strategy m loot =
       sled (Int64.sub fp 168L)
   end
 
-let attack ~scheme ?(overrides = []) strategy =
-  let victim = Scenarios.listing6 ~rounds in
+let attack ~scheme ?(overrides = []) ?victim strategy =
+  let victim = match victim with Some v -> v | None -> Scenarios.listing6 ~rounds in
   let expected = Adversary.benign_output scheme victim in
   let program = Compile.compile ~scheme ~overrides victim in
   let m = Machine.load program in

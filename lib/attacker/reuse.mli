@@ -21,16 +21,25 @@
 
 type strategy = Arbitrary_redirect | Sibling_reuse | Linear_overflow
 
+exception
+  Missing_evil_function of { symbol : string; scheme : Pacstack_harden.Scheme.t }
+(** Raised when the victim program exposes no landing symbol for the
+    adversary to redirect to. *)
+
 val strategy_to_string : strategy -> string
 val all_strategies : strategy list
 
 val attack :
   scheme:Pacstack_harden.Scheme.t ->
   ?overrides:(string * Pacstack_harden.Scheme.t) list ->
+  ?victim:Pacstack_minic.Ast.program ->
   strategy -> Adversary.outcome
 (** Runs the victim with the adversary attached and classifies the run.
     [overrides] assigns individual victim functions a different scheme —
-    the §9.2 mixed instrumented/uninstrumented deployment study. *)
+    the §9.2 mixed instrumented/uninstrumented deployment study.
+    [victim] substitutes the Listing 6 default (it must still expose the
+    adversary hooks; without an [evil] symbol the attack raises
+    {!Missing_evil_function}). *)
 
 val matrix : unit -> (strategy * (Pacstack_harden.Scheme.t * Adversary.outcome) list) list
 (** The full strategy × scheme outcome table. *)

@@ -24,10 +24,10 @@ module Costs = struct
   let request t ~records = measure t.table ~scheme:t.scheme ~records
 
   let extra_mem t ~records =
-    if Scheme.equal t.scheme Scheme.Unprotected then 0.0
+    if Scheme.equal t.scheme Scheme.unprotected then 0.0
     else
       let this = request t ~records in
-      let base = measure t.baseline ~scheme:Scheme.Unprotected ~records in
+      let base = measure t.baseline ~scheme:Scheme.unprotected ~records in
       Float.max 0.0 (this.mem_ops -. base.mem_ops)
 
   let distinct t = Hashtbl.length t.table

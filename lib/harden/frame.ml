@@ -1,149 +1,19 @@
-module Instr = Pacstack_isa.Instr
-module Reg = Pacstack_isa.Reg
-module Cond = Pacstack_isa.Cond
-module Obs = Pacstack_obs.Obs
+(* Per-scheme function prologue/epilogue generation — a facade over the
+   scheme registry: the codegen itself lives in each scheme's
+   descriptor (scheme.ml).  This module keeps the historical entry
+   points and the traits smart constructor. *)
 
-type traits = { is_leaf : bool; has_arrays : bool; locals_bytes : int }
+type traits = Scheme.traits = { is_leaf : bool; has_arrays : bool; locals_bytes : int }
 
 let traits ?(is_leaf = false) ?(has_arrays = false) ?(locals_bytes = 0) () =
   if locals_bytes < 0 || locals_bytes land 15 <> 0 then
     invalid_arg "Frame.traits: locals_bytes must be 16-byte aligned";
   { is_leaf; has_arrays; locals_bytes }
 
-let stack_chk_fail_symbol = "__stack_chk_fail"
+let stack_chk_fail_symbol = Scheme.stack_chk_fail_symbol
 let canary_failure_exit_code = 134
-let guard_symbol = "__stack_chk_guard"
-
-let protects_return scheme t =
-  match (scheme : Scheme.t) with
-  | Scheme.Unprotected -> false
-  | Scheme.Stack_protector -> t.has_arrays
-  | Scheme.Branch_protection | Scheme.Shadow_stack | Scheme.Pacstack _ -> not t.is_leaf
-
-let canary_active scheme t =
-  match (scheme : Scheme.t) with
-  | Scheme.Stack_protector -> t.has_arrays
-  | Scheme.Unprotected | Scheme.Branch_protection | Scheme.Shadow_stack | Scheme.Pacstack _ ->
-    false
-
-let canary_slot t = t.locals_bytes + 8
-
-let frame_overhead_bytes scheme t =
-  match (scheme : Scheme.t) with
-  | Scheme.Stack_protector when t.has_arrays -> 16
-  | Scheme.Pacstack _ when not t.is_leaf -> 16
-  | Scheme.Shadow_stack when not t.is_leaf -> 8
-  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection
-  | Scheme.Shadow_stack | Scheme.Pacstack _ -> 0
-
-let sub_sp n = if n = 0 then [] else [ Instr.Sub (Reg.SP, Reg.SP, Instr.Imm (Int64.of_int n)) ]
-let add_sp n = if n = 0 then [] else [ Instr.Add (Reg.SP, Reg.SP, Instr.Imm (Int64.of_int n)) ]
-
-let mem base offset index = { Instr.base; offset; index }
-
-(* Standard frame record push/pop. *)
-let push_record = [ Instr.Stp (Reg.fp, Reg.lr, mem Reg.SP (-16) Instr.Pre); Instr.Mov (Reg.fp, Instr.Reg Reg.SP) ]
-let pop_record = [ Instr.Ldp (Reg.fp, Reg.lr, mem Reg.SP 16 Instr.Post) ]
-
-let x9 = Reg.x 9
-let x10 = Reg.x 10
-let x15 = Reg.scratch
-let x18 = Reg.shadow
-let x28 = Reg.cr
-
-let canary_store t =
-  [
-    Instr.Adr (x9, guard_symbol);
-    Instr.Ldr (x9, mem x9 0 Instr.Offset);
-    Instr.Str (x9, mem Reg.SP (canary_slot t) Instr.Offset);
-  ]
-
-let canary_check t =
-  [
-    Instr.Ldr (x9, mem Reg.SP (canary_slot t) Instr.Offset);
-    Instr.Adr (x10, guard_symbol);
-    Instr.Ldr (x10, mem x10 0 Instr.Offset);
-    Instr.Cmp (x9, Instr.Reg x10);
-    Instr.Bcond (Cond.NE, stack_chk_fail_symbol);
-  ]
-
-(* The PACStack mask sequence of Listing 3: X15 <- pacia(0, CR), applied to
-   LR with an exclusive-or, then cleared. *)
-let mask_apply =
-  [
-    Instr.Mov (x15, Instr.Reg Reg.XZR);
-    Instr.Pacia (x15, x28);
-    Instr.Eor (Reg.lr, Reg.lr, Instr.Reg x15);
-    Instr.Mov (x15, Instr.Reg Reg.XZR);
-  ]
-
-let pacstack_prologue ~masked =
-  [
-    Instr.Str (x28, mem Reg.SP (-32) Instr.Pre);
-    Instr.Stp (Reg.fp, Reg.lr, mem Reg.SP 16 Instr.Offset);
-    Instr.Add (Reg.fp, Reg.SP, Instr.Imm 16L);
-    Instr.Pacia (Reg.lr, x28);
-  ]
-  @ (if masked then mask_apply else [])
-  @ [ Instr.Mov (x28, Instr.Reg Reg.lr) ]
-
-let pacstack_epilogue ~masked =
-  [
-    Instr.Mov (Reg.lr, Instr.Reg x28);
-    Instr.Ldr (Reg.fp, mem Reg.SP 16 Instr.Offset);
-    Instr.Ldr (x28, mem Reg.SP 32 Instr.Post);
-  ]
-  @ (if masked then mask_apply else [])
-  @ [ Instr.Autia (Reg.lr, x28); Instr.Ret Reg.lr ]
-
-(* Counts the PA instrumentation a pass emits (compile-time events, not
-   executions — the machine counts those): [harden.emit.pac]/[.aut] per
-   scheme, and [.chain_link] for the ACS link operations whose modifier
-   is the chain register. *)
-let obs_count_emitted scheme instrs =
-  if Obs.enabled () then begin
-    let label = "{scheme=" ^ Scheme.to_string scheme ^ "}" in
-    List.iter
-      (function
-        | Instr.Pacia (_, rn) ->
-          Obs.Metrics.incr ("harden.emit.pac" ^ label);
-          if rn = x28 then Obs.Metrics.incr ("harden.emit.chain_link" ^ label)
-        | Instr.Paciasp -> Obs.Metrics.incr ("harden.emit.pac" ^ label)
-        | Instr.Autia (_, rn) ->
-          Obs.Metrics.incr ("harden.emit.aut" ^ label);
-          if rn = x28 then Obs.Metrics.incr ("harden.emit.chain_link" ^ label)
-        | Instr.Autiasp | Instr.Retaa -> Obs.Metrics.incr ("harden.emit.aut" ^ label)
-        | _ -> ())
-      instrs
-  end;
-  instrs
-
-let prologue scheme t =
-  obs_count_emitted scheme
-  @@
-  if canary_active scheme t then
-    push_record @ sub_sp (t.locals_bytes + 16) @ canary_store t
-  else if t.is_leaf then sub_sp t.locals_bytes
-  else
-    match (scheme : Scheme.t) with
-    | Scheme.Unprotected | Scheme.Stack_protector -> push_record @ sub_sp t.locals_bytes
-    | Scheme.Branch_protection -> (Instr.Paciasp :: push_record) @ sub_sp t.locals_bytes
-    | Scheme.Shadow_stack ->
-      (Instr.Str (Reg.lr, mem x18 8 Instr.Post) :: push_record) @ sub_sp t.locals_bytes
-    | Scheme.Pacstack { masked } -> pacstack_prologue ~masked @ sub_sp t.locals_bytes
-
-let epilogue scheme t =
-  obs_count_emitted scheme
-  @@
-  if canary_active scheme t then
-    canary_check t @ add_sp (t.locals_bytes + 16) @ pop_record @ [ Instr.Ret Reg.lr ]
-  else if t.is_leaf then add_sp t.locals_bytes @ [ Instr.Ret Reg.lr ]
-  else
-    match (scheme : Scheme.t) with
-    | Scheme.Unprotected | Scheme.Stack_protector ->
-      add_sp t.locals_bytes @ pop_record @ [ Instr.Ret Reg.lr ]
-    | Scheme.Branch_protection -> add_sp t.locals_bytes @ pop_record @ [ Instr.Retaa ]
-    | Scheme.Shadow_stack ->
-      add_sp t.locals_bytes @ pop_record
-      @ [ Instr.Ldr (Reg.lr, mem x18 (-8) Instr.Pre); Instr.Ret Reg.lr ]
-    | Scheme.Pacstack { masked } -> add_sp t.locals_bytes @ pacstack_epilogue ~masked
+let canary_slot = Scheme.canary_slot
+let protects_return scheme t = (Scheme.descriptor scheme).Scheme.protects_return t
+let frame_overhead_bytes scheme t = (Scheme.descriptor scheme).Scheme.frame_overhead_bytes t
+let prologue scheme t = (Scheme.descriptor scheme).Scheme.prologue t
+let epilogue scheme t = (Scheme.descriptor scheme).Scheme.epilogue t

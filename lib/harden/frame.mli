@@ -3,7 +3,9 @@
     This is the moral equivalent of the paper's modified LLVM
     [AArch64FrameLowering]: given a function's traits it emits exactly the
     instruction sequences of Listings 1–3 (plus the canary and shadow-stack
-    conventions) around the compiled body.
+    conventions) around the compiled body.  The sequences themselves live
+    in each scheme's registry descriptor ({!Scheme.descriptor}); this
+    module is a facade kept for the historical entry points.
 
     Layout contract with the compiler:
     - the body runs with SP at the bottom of a [locals_bytes] region,
@@ -14,9 +16,9 @@
     - leaf functions (no calls) never spill LR and are skipped by the
       LR-protecting schemes, mirroring the paper's §7.1 heuristic. *)
 
-type traits = {
-  is_leaf : bool;      (** makes no calls *)
-  has_arrays : bool;   (** holds addressable buffers (canary heuristic) *)
+type traits = Scheme.traits = {
+  is_leaf : bool;  (** makes no calls *)
+  has_arrays : bool;  (** holds addressable buffers (canary heuristic) *)
   locals_bytes : int;  (** 16-byte aligned size of the locals region *)
 }
 
@@ -26,8 +28,9 @@ val protects_return : Scheme.t -> traits -> bool
 (** Whether the scheme instruments this function's return path. *)
 
 val canary_slot : traits -> int
-(** SP-relative offset of the canary slot when {!Scheme.Stack_protector}
-    instruments the function. *)
+(** SP-relative offset of the canary slot when a canary scheme
+    ({!Scheme.stack_protector}, {!Scheme.pcan}) instruments the
+    function. *)
 
 val frame_overhead_bytes : Scheme.t -> traits -> int
 (** Extra stack bytes versus the unprotected frame. *)

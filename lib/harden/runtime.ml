@@ -19,17 +19,11 @@ let obs_entry kind scheme =
 
 let setjmp_entry scheme =
   obs_entry "setjmp" scheme;
-  match scheme with
-  | Scheme.Pacstack _ -> pacstack_setjmp_symbol
-  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection | Scheme.Shadow_stack
-    -> setjmp_symbol
+  (Scheme.descriptor scheme).Scheme.setjmp_symbol
 
 let longjmp_entry scheme =
   obs_entry "longjmp" scheme;
-  match scheme with
-  | Scheme.Pacstack _ -> pacstack_longjmp_symbol
-  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection | Scheme.Shadow_stack
-    -> longjmp_symbol
+  (Scheme.descriptor scheme).Scheme.longjmp_symbol
 
 let x0 = Reg.x 0
 let x1 = Reg.x 1

@@ -1,22 +1,109 @@
-(** The return-address protection schemes the paper evaluates (§7). *)
+(** The hardening-scheme registry.
 
-type t =
-  | Unprotected
-  | Stack_protector  (** [-mstack-protector-strong]: canaries, buffer-holding functions only *)
-  | Branch_protection  (** [-mbranch-protection]: [paciasp]/[retaa], SP modifier *)
-  | Shadow_stack  (** Clang ShadowCallStack, X18-based *)
-  | Pacstack of { masked : bool }  (** the paper's contribution, Listings 2–3 *)
+    A scheme is one self-describing {!descriptor}: its names, its
+    prologue/epilogue codegen, the stack word an adversary must corrupt
+    to redirect its return ({!slot}), whether its spilled control words
+    are observable, its chain-register and setjmp/longjmp conventions,
+    and the sealing hooks applied to function pointers.  {!Frame},
+    {!Surface} and {!Runtime} are facades over descriptor lookups, so
+    adding a scheme is one {!register} call in one module.
+
+    Ships ten schemes: the paper's six (§7) plus four from the related
+    work — PCan, Zipper Stack, PACTight sealing and PARTS forward-edge
+    [pacia]. *)
+
+type t
+(** An opaque registry index.  Plain immediate int underneath:
+    marshals across process pools and compares structurally. *)
+
+type traits = {
+  is_leaf : bool;  (** makes no calls *)
+  has_arrays : bool;  (** holds addressable buffers (canary heuristic) *)
+  locals_bytes : int;  (** 16-byte aligned size of the locals region *)
+}
+
+type slot =
+  | Return_slot  (** the frame record's saved LR at [fp + 8] *)
+  | Chain_slot  (** the PACStack/Zipper CR spill at [fp - 16] *)
+  | Shadow_slot  (** the function's X18 shadow-stack entry *)
+
+type descriptor = {
+  name : string;  (** canonical name; [to_string] returns it *)
+  aliases : string list;  (** extra spellings accepted by [of_string] *)
+  prologue : traits -> Pacstack_isa.Instr.t list;
+  epilogue : traits -> Pacstack_isa.Instr.t list;
+      (** ends in the returning instruction *)
+  protects_return : traits -> bool;
+  frame_overhead_bytes : traits -> int;
+  control_slot : slot;
+  observable : bool;
+  uses_chain_register : bool;
+  chained_signal : bool;
+      (** kernel binds signal frames to the ACS (Appendix B) *)
+  setjmp_symbol : string;
+  longjmp_symbol : string;
+  fnptr_seal : Pacstack_isa.Reg.t -> Pacstack_isa.Instr.t list;
+      (** appended after materialising a function address in the register *)
+  fnptr_call : Pacstack_isa.Reg.t -> Pacstack_isa.Instr.t list;
+      (** the complete indirect-call sequence through the register *)
+}
+
+exception Duplicate_scheme of { name : string; key : string }
+(** Raised by {!register} when [key] (a name or alias, compared
+    case-insensitively) is already claimed. *)
+
+val register : descriptor -> t
+val descriptor : t -> descriptor
+
+val registered_count : unit -> int
+(** Total registered schemes; tests pin it to [List.length all] so a
+    registered scheme cannot silently miss evaluation coverage. *)
 
 val all : t list
-(** In the order the paper's tables list them. *)
+(** Every registered scheme, legacy six first, in table order. *)
 
-val pacstack : t
+val legacy : t list
+(** The paper's six (§7), in the order its tables list them. *)
+
+val unprotected : t
+val stack_protector : t
+val branch_protection : t
+val shadow_stack : t
 val pacstack_nomask : t
+val pacstack : t
+val pcan : t
+val zipper : t
+val pactight : t
+val parts : t
 
 val to_string : t -> string
+
 val of_string : string -> t option
+(** Total over everything {!to_string} produces: canonical names and
+    aliases are claimed in one table at registration. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 
 val uses_chain_register : t -> bool
-(** True for the PACStack variants: X28 is reserved (§5.1). *)
+(** True when X28 is reserved (§5.1): PACStack variants and Zipper. *)
+
+val chained_signal : t -> bool
+(** True when the kernel authenticates sigreturn frames against the
+    chain (Appendix B): the PACStack variants. *)
+
+val fnptr_seal : t -> Pacstack_isa.Reg.t -> Pacstack_isa.Instr.t list
+val fnptr_call : t -> Pacstack_isa.Reg.t -> Pacstack_isa.Instr.t list
+
+val stack_chk_fail_symbol : string
+(** ["__stack_chk_fail"] — the abort entry the canary-style schemes
+    branch to on a failed check. *)
+
+val canary_slot : traits -> int
+(** SP-relative offset of the canary slot in a canary frame. *)
+
+val obs_count_emitted :
+  string -> Pacstack_isa.Instr.t list -> Pacstack_isa.Instr.t list
+(** [obs_count_emitted name instrs] bumps the [harden.emit.*] metrics
+    for the PA instructions in [instrs] under scheme [name] and returns
+    [instrs]; descriptors wrap their codegen in it. *)

@@ -1,44 +1,25 @@
-(* Per-scheme attack surface: where each scheme keeps the word that
-   decides a function's return target, and whether an adversary who can
-   read that word learns anything from it.
+(* Per-scheme attack surface — a facade over the scheme registry: each
+   descriptor declares where it keeps the word that decides a
+   function's return target, and whether an adversary who can read
+   that word learns anything from it.
 
    The fault-injection engine (lib/inject) asks this module instead of
-   hardcoding frame layouts: the knowledge of what each Scheme stores on
-   the stack belongs next to Frame, which emits the code that stores
-   it. *)
+   hardcoding frame layouts: the knowledge of what each scheme stores
+   on the stack belongs next to the codegen that stores it. *)
 
-type slot = Return_slot | Chain_slot | Shadow_slot
+type slot = Scheme.slot = Return_slot | Chain_slot | Shadow_slot
 
 let slot_to_string = function
   | Return_slot -> "return-slot"
   | Chain_slot -> "chain-slot"
   | Shadow_slot -> "shadow-slot"
 
-(* Offsets are relative to a non-leaf function's frame pointer (see
-   Frame.push_record / Frame.pacstack_prologue):
+(* Offsets are relative to a non-leaf function's frame pointer (see the
+   push_record / pacstack_prologue sequences in scheme.ml):
    [fp + 8]  the plain saved LR of the frame record;
-   [fp - 16] the PACStack chain-register spill. *)
+   [fp - 16] the PACStack/Zipper chain-register spill. *)
 let return_slot_offset = 8
 let chain_spill_offset = -16
 
-let control_slot (scheme : Scheme.t) =
-  match scheme with
-  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection -> Return_slot
-  | Scheme.Shadow_stack -> Shadow_slot
-  | Scheme.Pacstack _ -> Chain_slot
-
-(* Can the §3 adversary correlate the control words it reads across
-   call sites — i.e. does an observed repeat imply a reusable value?
-
-   True everywhere except masked PACStack: plain return addresses,
-   SP-keyed [paciasp] tokens and shadow-stack entries are directly
-   reusable, and unmasked aret values expose their PACs, so an observed
-   full-word collision is exactly the §6.1 reuse precondition. The
-   masked variant's spilled tokens are indistinguishable from random
-   draws (Appendix A; Games.violation_success models the same split),
-   so reading them gives the adversary nothing to match on. *)
-let observable (scheme : Scheme.t) =
-  match scheme with
-  | Scheme.Pacstack { masked } -> not masked
-  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection
-  | Scheme.Shadow_stack -> true
+let control_slot scheme = (Scheme.descriptor scheme).Scheme.control_slot
+let observable scheme = (Scheme.descriptor scheme).Scheme.observable

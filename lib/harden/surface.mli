@@ -1,10 +1,11 @@
 (** Per-scheme attack surface for fault injection and attack code: which
     stack word decides a non-leaf function's return target under each
-    {!Scheme}, and whether reading it tells an adversary anything. *)
+    {!Scheme}, and whether reading it tells an adversary anything.
+    A facade over the scheme registry ({!Scheme.descriptor}). *)
 
-type slot =
+type slot = Scheme.slot =
   | Return_slot  (** the frame record's saved LR at [fp + 8] *)
-  | Chain_slot  (** the PACStack CR spill at [fp - 16] *)
+  | Chain_slot  (** the PACStack/Zipper CR spill at [fp - 16] *)
   | Shadow_slot  (** the function's X18 shadow-stack entry *)
 
 val slot_to_string : slot -> string
@@ -18,9 +19,9 @@ val chain_spill_offset : int
 val control_slot : Scheme.t -> slot
 (** The word whose value the scheme's epilogue turns into the return
     target: the saved LR for unprotected / stack-protector /
-    branch-protection frames, the shadow-stack entry for shadow frames,
-    and the spilled chain value for PACStack (the epilogue authenticates
-    the register-held aret against it). *)
+    branch-protection style frames, the shadow-stack entry for shadow
+    frames, and the spilled chain value for PACStack (the epilogue
+    authenticates the register-held aret against it). *)
 
 val observable : Scheme.t -> bool
 (** Whether control words read from memory are correlatable by the §3

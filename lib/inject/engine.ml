@@ -306,11 +306,7 @@ let run_window cfg (spec : Fault.spec) scheme compiled keys_rng =
 (* Kernel signal-frame corruption (Appendix B)                         *)
 
 let signal_policy scheme =
-  match (scheme : Scheme.t) with
-  | Scheme.Pacstack _ -> Kernel.Sig_chained
-  | Scheme.Unprotected | Scheme.Stack_protector | Scheme.Branch_protection
-  | Scheme.Shadow_stack ->
-    Kernel.Sig_unprotected
+  if Scheme.chained_signal scheme then Kernel.Sig_chained else Kernel.Sig_unprotected
 
 (* Index of the saved PC in [Machine.context_words] order
    (X0..X30, SP, PC, flags). *)
@@ -432,23 +428,37 @@ type reproducer = { fault : int; scheme : string; site : string }
 type stats = {
   faults : int;
   cells : (string * cell) list;  (** per scheme name, canonical order *)
+  site_cells : ((string * string) * cell) list;
+      (** per (site, scheme), site-major in Fault.all_sites order *)
   silents : reproducer list;  (** sorted by (fault, scheme) *)
 }
 
-let empty = { faults = 0; cells = []; silents = [] }
+let empty = { faults = 0; cells = []; site_cells = []; silents = [] }
+
+let rank_of names n =
+  let rec find i = function
+    | [] -> List.length names
+    | x :: rest -> if String.equal x n then i else find (i + 1) rest
+  in
+  find 0 names
 
 let scheme_rank =
   let names = List.map Scheme.to_string Scheme.all in
-  fun n ->
-    let rec find i = function
-      | [] -> List.length names
-      | x :: rest -> if String.equal x n then i else find (i + 1) rest
-    in
-    find 0 names
+  fun n -> rank_of names n
+
+let site_rank =
+  let names = List.map Fault.site_to_string (Array.to_list Fault.all_sites) in
+  fun n -> rank_of names n
 
 let sort_cells cells =
   List.stable_sort
     (fun (a, _) (b, _) -> compare (scheme_rank a, a) (scheme_rank b, b))
+    cells
+
+let sort_site_cells cells =
+  List.stable_sort
+    (fun ((sa, na), _) ((sb, nb), _) ->
+      compare (site_rank sa, sa, scheme_rank na, na) (site_rank sb, sb, scheme_rank nb, nb))
     cells
 
 let sort_silents silents =
@@ -462,33 +472,47 @@ let bump_cell cells name f =
   in
   sort_cells cells
 
+let bump_site_cell cells key f =
+  let found = List.mem_assoc key cells in
+  let cells =
+    if found then List.map (fun (k, c) -> if k = key then (k, f c) else (k, c)) cells
+    else cells @ [ (key, f cell_zero) ]
+  in
+  sort_site_cells cells
+
 let add_result stats (r : result) =
   let name = Scheme.to_string r.scheme in
-  let cells =
-    bump_cell stats.cells name (fun c ->
-        match r.classification with
-        | Detected { latency; _ } ->
-          { c with detected = c.detected + 1; latency_sum = c.latency_sum + latency }
-        | Benign -> { c with benign = c.benign + 1 }
-        | Silent -> { c with silent = c.silent + 1 })
+  let site = Fault.site_to_string r.spec.Fault.site in
+  let bump c =
+    match r.classification with
+    | Detected { latency; _ } ->
+      { c with detected = c.detected + 1; latency_sum = c.latency_sum + latency }
+    | Benign -> { c with benign = c.benign + 1 }
+    | Silent -> { c with silent = c.silent + 1 }
   in
+  let cells = bump_cell stats.cells name bump in
+  let site_cells = bump_site_cell stats.site_cells (site, name) bump in
   let silents =
     match r.classification with
     | Silent ->
-      sort_silents
-        ({ fault = r.spec.Fault.index; scheme = name; site = Fault.site_to_string r.spec.Fault.site }
-        :: stats.silents)
+      sort_silents ({ fault = r.spec.Fault.index; scheme = name; site } :: stats.silents)
     | Detected _ | Benign -> stats.silents
   in
-  { stats with cells; silents }
+  { stats with cells; site_cells; silents }
 
 let merge a b =
   let cells =
     List.fold_left (fun acc (n, c) -> bump_cell acc n (fun cur -> cell_add cur c)) a.cells b.cells
   in
+  let site_cells =
+    List.fold_left
+      (fun acc (k, c) -> bump_site_cell acc k (fun cur -> cell_add cur c))
+      a.site_cells b.site_cells
+  in
   {
     faults = a.faults + b.faults;
     cells;
+    site_cells;
     silents = sort_silents (a.silents @ b.silents);
   }
 
@@ -529,6 +553,20 @@ let stats_to_json s =
                    ("latency_sum", Json.Int c.latency_sum);
                  ])
              s.cells) );
+      ( "site_cells",
+        Json.List
+          (List.map
+             (fun ((site, n), c) ->
+               Json.Obj
+                 [
+                   ("site", Json.String site);
+                   ("scheme", Json.String n);
+                   ("detected", Json.Int c.detected);
+                   ("benign", Json.Int c.benign);
+                   ("silent", Json.Int c.silent);
+                   ("latency_sum", Json.Int c.latency_sum);
+                 ])
+             s.site_cells) );
       ("silents", Json.List (List.map reproducer_to_json s.silents));
     ]
 
@@ -550,6 +588,20 @@ let stats_of_json j =
         Some (acc @ [ (n, { detected; benign; silent; latency_sum }) ]))
       (Some []) cells
   in
+  let* site_cells = Option.bind (Json.member "site_cells" j) Json.to_list in
+  let* site_cells =
+    List.fold_left
+      (fun acc o ->
+        let* acc = acc in
+        let* site = str "site" o in
+        let* n = str "scheme" o in
+        let* detected = int "detected" o in
+        let* benign = int "benign" o in
+        let* silent = int "silent" o in
+        let* latency_sum = int "latency_sum" o in
+        Some (acc @ [ ((site, n), { detected; benign; silent; latency_sum }) ]))
+      (Some []) site_cells
+  in
   let* silents = Option.bind (Json.member "silents" j) Json.to_list in
   let* silents =
     List.fold_left
@@ -561,4 +613,10 @@ let stats_of_json j =
         Some (acc @ [ { fault; scheme; site } ]))
       (Some []) silents
   in
-  Some { faults; cells = sort_cells cells; silents = sort_silents silents }
+  Some
+    {
+      faults;
+      cells = sort_cells cells;
+      site_cells = sort_site_cells site_cells;
+      silents = sort_silents silents;
+    }

@@ -62,6 +62,10 @@ type reproducer = { fault : int; scheme : string; site : string }
 type stats = {
   faults : int;
   cells : (string * cell) list;  (** per scheme name, canonical order *)
+  site_cells : ((string * string) * cell) list;
+      (** per (site name, scheme name), sorted by (site order in
+          {!Fault.all_sites}, scheme order) — the long-format
+          detection-rate table *)
   silents : reproducer list;  (** sorted by (fault, scheme) *)
 }
 

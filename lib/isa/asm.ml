@@ -174,7 +174,15 @@ let parse text =
   let handle_line lineno raw =
     let s = String.trim (strip_comment raw) in
     if s = "" then ()
-    else if String.length s > 0 && s.[0] = '.' then begin
+    (* a trailing colon always means a label, even with a leading dot —
+       the compiler emits local labels as [.L0:] *)
+    else if s.[String.length s - 1] = ':' then begin
+      let l = String.sub s 0 (String.length s - 1) in
+      match st.current with
+      | None -> fail lineno "label outside .func"
+      | Some (name, items) -> st.current <- Some (name, Program.Lbl l :: items)
+    end
+    else if s.[0] = '.' then begin
       match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
       | [ ".data"; name; size ] -> (
         match int_of_string_opt size with
@@ -186,12 +194,6 @@ let parse text =
         st.current <- Some (name, [])
       | [ ".endfunc" ] -> finish_func lineno
       | _ -> fail lineno (Printf.sprintf "unknown directive %S" s)
-    end
-    else if s.[String.length s - 1] = ':' then begin
-      let l = String.sub s 0 (String.length s - 1) in
-      match st.current with
-      | None -> fail lineno "label outside .func"
-      | Some (name, items) -> st.current <- Some (name, Program.Lbl l :: items)
     end
     else begin
       let i = parse_instr_tokens lineno (tokenize lineno s) in

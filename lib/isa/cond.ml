@@ -59,3 +59,35 @@ let holds cond f =
   | LE -> f.z || f.n <> f.v
   | HS -> f.c
   | LO -> not f.c
+
+(* Packed representation for the execution hot path: NZCV in the low
+   four bits of an immediate int (bit 3 = N .. bit 0 = V), so compares
+   and PA status updates allocate nothing. *)
+
+let bits_of_flags f =
+  (if f.n then 8 else 0) lor (if f.z then 4 else 0) lor (if f.c then 2 else 0)
+  lor if f.v then 1 else 0
+
+let flags_of_bits w =
+  { n = w land 8 <> 0; z = w land 4 <> 0; c = w land 2 <> 0; v = w land 1 <> 0 }
+
+let[@inline] bits_of_compare a b =
+  let diff = Int64.sub a b in
+  let n = diff < 0L in
+  let z = diff = 0L in
+  let c = Int64.unsigned_compare a b >= 0 in
+  let v = (a < 0L) <> (b < 0L) && n <> (a < 0L) in
+  (if n then 8 else 0) lor (if z then 4 else 0) lor (if c then 2 else 0)
+  lor if v then 1 else 0
+
+let[@inline] holds_bits cond w =
+  let n = w land 8 <> 0 and z = w land 4 <> 0 in
+  match cond with
+  | EQ -> z
+  | NE -> not z
+  | LT -> n <> (w land 1 <> 0)
+  | GE -> n = (w land 1 <> 0)
+  | GT -> (not z) && n = (w land 1 <> 0)
+  | LE -> z || n <> (w land 1 <> 0)
+  | HS -> w land 2 <> 0
+  | LO -> w land 2 = 0

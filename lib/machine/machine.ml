@@ -25,7 +25,7 @@ type t = {
   image : Image.t;
   mutable keys : Keys.t;
   regs : Bytes.t;  (* X0..X30, SP, PC — see the layout note above *)
-  mutable flags : Cond.flags;
+  mutable flags_bits : int;  (* packed NZCV, Cond.bits_* layout *)
   mutable halted : int option;
   mutable cycles : int;
   mutable instret : int;
@@ -94,8 +94,8 @@ let set_keys t k = t.keys <- k
 let memory t = t.mem
 let image t = t.image
 
-let flags t = t.flags
-let set_flags t f = t.flags <- f
+let flags t = Cond.flags_of_bits t.flags_bits
+let set_flags t f = t.flags_bits <- Cond.bits_of_flags f
 let cycles t = t.cycles
 let instructions_retired t = t.instret
 let memory_operations t = t.mem_ops
@@ -160,8 +160,6 @@ let resolve t label =
 let ia t = Keys.get t.keys Keys.IA
 let ga t = Keys.get t.keys Keys.GA
 
-let auth_result = function Pac.Valid p -> p | Pac.Invalid p -> p
-
 (* --- instruction semantics (reference) -------------------------------- *)
 
 (* The fetch-then-match semantics the threaded engine is compiled from.
@@ -196,7 +194,7 @@ let exec t instr =
     set t rd (operand t op);
     fallthrough ()
   | Instr.Cmp (rn, op) ->
-    t.flags <- Cond.of_compare (get t rn) (operand t op);
+    t.flags_bits <- Cond.bits_of_compare (get t rn) (operand t op);
     fallthrough ()
   | Instr.Adr (rd, l) ->
     set t rd (resolve t l);
@@ -224,7 +222,7 @@ let exec t instr =
     store64 t (Int64.add a 8L) (get t r2);
     fallthrough ()
   | Instr.B l -> goto (resolve t l)
-  | Instr.Bcond (c, l) -> if Cond.holds c t.flags then goto (resolve t l) else fallthrough ()
+  | Instr.Bcond (c, l) -> if Cond.holds_bits c t.flags_bits then goto (resolve t l) else fallthrough ()
   | Instr.Cbz (r, l) -> if get t r = 0L then goto (resolve t l) else fallthrough ()
   | Instr.Cbnz (r, l) -> if get t r <> 0L then goto (resolve t l) else fallthrough ()
   | Instr.Bl l ->
@@ -240,20 +238,20 @@ let exec t instr =
   | Instr.Br r -> goto (get t r)
   | Instr.Ret r -> goto (get t r)
   | Instr.Retaa ->
-    let lr = auth_result (Pac.auth t.cfg (ia t) (get t Reg.lr) ~modifier:(sp t)) in
+    let lr = Pac.auth_value t.cfg (ia t) (get t Reg.lr) ~modifier:(sp t) in
     set t Reg.lr lr;
     goto lr
   | Instr.Pacia (rd, rn) ->
     set t rd (Pac.add t.cfg (ia t) (get t rd) ~modifier:(get t rn));
     fallthrough ()
   | Instr.Autia (rd, rn) ->
-    set t rd (auth_result (Pac.auth t.cfg (ia t) (get t rd) ~modifier:(get t rn)));
+    set t rd (Pac.auth_value t.cfg (ia t) (get t rd) ~modifier:(get t rn));
     fallthrough ()
   | Instr.Paciasp ->
     set t Reg.lr (Pac.add t.cfg (ia t) (get t Reg.lr) ~modifier:(sp t));
     fallthrough ()
   | Instr.Autiasp ->
-    set t Reg.lr (auth_result (Pac.auth t.cfg (ia t) (get t Reg.lr) ~modifier:(sp t)));
+    set t Reg.lr (Pac.auth_value t.cfg (ia t) (get t Reg.lr) ~modifier:(sp t));
     fallthrough ()
   | Instr.Xpaci r ->
     set t r (Pac.strip t.cfg (get t r));
@@ -535,13 +533,13 @@ let compile_op image nops idx instr : t -> int =
     | Instr.Reg rm ->
       fun t ->
         op_pre t cyc instr;
-        t.flags <- Cond.of_compare (get t rn) (get t rm);
+        t.flags_bits <- Cond.bits_of_compare (get t rn) (get t rm);
         set_pc t next;
         nexti
     | Instr.Imm i ->
       fun t ->
         op_pre t cyc instr;
-        t.flags <- Cond.of_compare (get t rn) i;
+        t.flags_bits <- Cond.bits_of_compare (get t rn) i;
         set_pc t next;
         nexti)
   | Instr.Adr (rd, l) -> (
@@ -594,7 +592,7 @@ let compile_op image nops idx instr : t -> int =
       let ti = static_index a in
       fun t -> op_pre t cyc instr; set_pc t a; ti
     | Error e -> fun t -> op_pre t cyc instr; raise e)
-  | Instr.Bcond (c, l) -> cond_branch (fun t -> Cond.holds c t.flags) l
+  | Instr.Bcond (c, l) -> cond_branch (fun t -> Cond.holds_bits c t.flags_bits) l
   | Instr.Cbz (r, l) -> cond_branch (fun t -> get t r = 0L) l
   | Instr.Cbnz (r, l) -> cond_branch (fun t -> get t r <> 0L) l
   | Instr.Bl l -> (
@@ -636,7 +634,7 @@ let compile_op image nops idx instr : t -> int =
   | Instr.Retaa ->
     fun t ->
       op_pre_pac t cyc 4 instr;
-      let lr = auth_result (Pac.auth t.cfg (ia t) (lr t) ~modifier:(sp t)) in
+      let lr = Pac.auth_value t.cfg (ia t) (lr t) ~modifier:(sp t) in
       set_lr t lr;
       set_pc t lr;
       live_index t lr
@@ -651,7 +649,7 @@ let compile_op image nops idx instr : t -> int =
     let cell = if rn = Reg.cr then 8 else 1 in
     fun t ->
       op_pre_pac t cyc cell instr;
-      set t rd (auth_result (Pac.auth t.cfg (ia t) (get t rd) ~modifier:(get t rn)));
+      set t rd (Pac.auth_value t.cfg (ia t) (get t rd) ~modifier:(get t rn));
       set_pc t next;
       nexti
   | Instr.Paciasp ->
@@ -663,7 +661,7 @@ let compile_op image nops idx instr : t -> int =
   | Instr.Autiasp ->
     fun t ->
       op_pre_pac t cyc 3 instr;
-      set_lr t (auth_result (Pac.auth t.cfg (ia t) (lr t) ~modifier:(sp t)));
+      set_lr t (Pac.auth_value t.cfg (ia t) (lr t) ~modifier:(sp t));
       set_pc t next;
       nexti
   | Instr.Xpaci r ->
@@ -922,7 +920,7 @@ let load ?(cfg = Config.default) ?keys ?rng program =
       image;
       keys;
       regs = Bytes.make regs_bytes '\000';
-      flags = Cond.flags_zero;
+      flags_bits = 0;
       halted = None;
       cycles = 0;
       instret = 0;
@@ -990,7 +988,7 @@ let save_context t =
     c_xregs = Array.init 31 (fun i -> Bytes.get_int64_le t.regs (i lsl 3));
     c_sp = sp t;
     c_pc = pc t;
-    c_flags = t.flags;
+    c_flags = Cond.flags_of_bits t.flags_bits;
   }
 
 let restore_context t c =
@@ -999,7 +997,7 @@ let restore_context t c =
   done;
   set t Reg.SP c.c_sp;
   set_pc t c.c_pc;
-  t.flags <- c.c_flags
+  t.flags_bits <- Cond.bits_of_flags c.c_flags
 
 let context_pc c = c.c_pc
 

@@ -122,7 +122,11 @@ let rec compile_expr ctx d (e : Ast.expr) =
     match off with
     | Some o -> [ Instr.Add (dst, Reg.SP, Instr.Imm (Int64.of_int o)) ]
     | None -> error "%s: unknown local %s" ctx.fname s)
-  | Ast.Addr_global s | Ast.Addr_func s -> [ Instr.Adr (dst, s) ]
+  | Ast.Addr_global s -> [ Instr.Adr (dst, s) ]
+  | Ast.Addr_func s ->
+    (* code pointers are sealed at creation under the sealing schemes
+       (PACTight/PARTS); fnptr_call authenticates before the blr *)
+    Instr.Adr (dst, s) :: Scheme.fnptr_seal ctx.scheme dst
   | Ast.Load e -> compile_expr ctx d e @ [ Instr.Ldr (dst, deref dst) ]
   | Ast.Load_byte e -> compile_expr ctx d e @ [ Instr.Ldrb (dst, deref dst) ]
   | Ast.Binop (op, a, b) ->
@@ -140,7 +144,7 @@ and compile_call ctx d ~target args =
   let call =
     match target with
     | `Direct f -> [ Instr.Bl f ]
-    | `Indirect r -> [ Instr.Blr r ]
+    | `Indirect r -> Scheme.fnptr_call ctx.scheme r
   in
   arg_code @ spill_temps ctx d @ moves @ call @ reload_temps ctx d
   @ [ Instr.Mov (temp d, Instr.Reg (Reg.x 0)) ]

@@ -23,6 +23,16 @@ let[@inline] auth cfg prf p ~modifier =
   if Word64.equal expected embedded && not (Pointer.has_error cfg p) then Valid stripped
   else Invalid (Pointer.set_error cfg p)
 
+(* Allocation-free [auth] for the execution hot paths: the valid/invalid
+   distinction is already encoded in the returned pointer (error bit), so
+   the [result] box adds nothing the caller needs. *)
+let[@inline] auth_value cfg prf p ~modifier =
+  let stripped = Pointer.address cfg p in
+  let expected = compute cfg prf ~address:stripped ~modifier in
+  let embedded = Pointer.pac_field cfg p in
+  if Word64.equal expected embedded && not (Pointer.has_error cfg p) then stripped
+  else Pointer.set_error cfg p
+
 let strip = Pointer.address
 
 let[@inline] generic _cfg prf v ~modifier =

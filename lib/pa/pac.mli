@@ -33,6 +33,14 @@ val auth :
   Pointer.t -> modifier:Pacstack_util.Word64.t -> result
 (** [autia]-style verification. *)
 
+val auth_value :
+  Config.t -> Pacstack_qarma.Prf.t ->
+  Pointer.t -> modifier:Pacstack_util.Word64.t -> Pointer.t
+(** {!auth} without the [result] box, for the execution hot paths: the
+    stripped address on success, the error-bit-tagged pointer on
+    failure (any later translation of it faults, so no information is
+    lost). *)
+
 val strip : Config.t -> Pointer.t -> Pointer.t
 (** [xpac]: remove the PAC without verification. *)
 

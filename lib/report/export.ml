@@ -12,8 +12,8 @@ module Adversary = Pacstack_attacker.Adversary
 module Stats = Pacstack_util.Stats
 
 let schemes =
-  [ Scheme.pacstack; Scheme.pacstack_nomask; Scheme.Shadow_stack; Scheme.Branch_protection;
-    Scheme.Stack_protector ]
+  [ Scheme.pacstack; Scheme.pacstack_nomask; Scheme.shadow_stack; Scheme.branch_protection;
+    Scheme.stack_protector; Scheme.pcan; Scheme.zipper; Scheme.pactight; Scheme.parts ]
 
 let write_csv ~dir ~name rows =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -52,7 +52,7 @@ let table1 ?(seed = 1L) ?(scale = 1.0) ~dir () =
 let measure_overheads variant =
   List.map
     (fun bench ->
-      let baseline = Speclike.measure ~scheme:Scheme.Unprotected variant bench in
+      let baseline = Speclike.measure ~scheme:Scheme.unprotected variant bench in
       ( bench,
         List.map
           (fun scheme ->
@@ -61,7 +61,7 @@ let measure_overheads variant =
     Speclike.all
 
 let density bench =
-  let program = Compile.compile ~scheme:Scheme.Unprotected (bench.Speclike.program Speclike.Rate) in
+  let program = Compile.compile ~scheme:Scheme.unprotected (bench.Speclike.program Speclike.Rate) in
   let m = Machine.load program in
   let profile = Profile.attach m in
   ignore (Machine.run ~fuel:100_000_000 m);
@@ -102,11 +102,11 @@ let table3 ~dir =
   let rows =
     List.concat_map
       (fun workers ->
-        let baseline = Server.measure ~scheme:Scheme.Unprotected ~workers () in
+        let baseline = Server.measure ~scheme:Scheme.unprotected ~workers () in
         List.map
           (fun scheme ->
             let r =
-              if Scheme.equal scheme Scheme.Unprotected then baseline
+              if Scheme.equal scheme Scheme.unprotected then baseline
               else Server.measure ~scheme ~workers ()
             in
             [
@@ -116,7 +116,8 @@ let table3 ~dir =
               Printf.sprintf "%.0f" r.Server.sigma;
               Printf.sprintf "%.2f" (Server.overhead_pct ~baseline r);
             ])
-          [ Scheme.Unprotected; Scheme.pacstack_nomask; Scheme.pacstack ])
+          [ Scheme.unprotected; Scheme.pacstack_nomask; Scheme.pacstack;
+            Scheme.pcan; Scheme.zipper; Scheme.pactight; Scheme.parts ])
       [ 4; 8 ]
   in
   write_csv ~dir ~name:"table3.csv"

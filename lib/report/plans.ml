@@ -338,6 +338,27 @@ let pp_inject_table fmt (s : Inject_engine.stats) =
         latency)
     s.Inject_engine.cells
 
+(* The long-format detection-rate table: every (injection site, scheme)
+   cell, site-major, with the detection rate and its Wilson interval —
+   the headline site x scheme comparison across the scheme family. *)
+let pp_inject_site_table fmt (s : Inject_engine.stats) =
+  Format.fprintf fmt "@.%-16s %-24s %9s %9s %9s %10s %23s@." "site" "scheme" "detected"
+    "benign" "silent" "det-rate" "wilson-95%";
+  let last_site = ref "" in
+  List.iter
+    (fun ((site, name), (c : Inject_engine.cell)) ->
+      let total = c.Inject_engine.detected + c.Inject_engine.benign + c.Inject_engine.silent in
+      let rate =
+        if total = 0 then 0.0 else float_of_int c.Inject_engine.detected /. float_of_int total
+      in
+      let lo, hi = wilson_ci ~successes:c.Inject_engine.detected ~trials:total in
+      if !last_site <> "" && !last_site <> site then Format.fprintf fmt "@.";
+      last_site := site;
+      Format.fprintf fmt "%-16s %-24s %9d %9d %9d %10.3f %23s@." site name
+        c.Inject_engine.detected c.Inject_engine.benign c.Inject_engine.silent rate
+        (Printf.sprintf "[%.4f, %.4f]" lo hi))
+    s.Inject_engine.site_cells
+
 (* --- mega campaigns: streaming sufficient statistics ---------------------- *)
 
 let mega_plan ?schemes ?(pac_bits = 4) ?tamper ?(faults = 120) ?(shard_faults = 512)
@@ -711,7 +732,7 @@ let spec_entry =
           let m =
             Array.to_list results
             |> List.find (fun (m : Speclike.measurement) ->
-                   m.Speclike.bench = bench && Scheme.equal m.Speclike.scheme Scheme.Unprotected)
+                   m.Speclike.bench = bench && Scheme.equal m.Speclike.scheme Scheme.unprotected)
           in
           m
         in
@@ -761,7 +782,7 @@ let server_entry =
         let baseline_of workers =
           Array.to_list results
           |> List.find (fun (r : Server.result) ->
-                 r.Server.workers = workers && Scheme.equal r.Server.scheme Scheme.Unprotected)
+                 r.Server.workers = workers && Scheme.equal r.Server.scheme Scheme.unprotected)
         in
         Format.fprintf fmt "%-8s %-18s %12s %10s@." "workers" "scheme" "req/s" "overhead";
         Array.iter
@@ -858,6 +879,7 @@ let inject_entry =
         in
         let totals = inject_totals outcome in
         pp_inject_table fmt totals;
+        pp_inject_site_table fmt totals;
         (match outcome.Campaign.quarantined with
         | [] -> ()
         | qs ->

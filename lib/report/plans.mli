@@ -126,6 +126,11 @@ val pp_inject_table : Format.formatter -> Pacstack_inject.Engine.stats -> unit
 (** The per-scheme detection-rate table; silent rates carry Wilson 95%
     intervals. *)
 
+val pp_inject_site_table : Format.formatter -> Pacstack_inject.Engine.stats -> unit
+(** The long-format (injection site x scheme) detection-rate table with
+    Wilson 95% intervals, site-major in {!Pacstack_inject.Fault.all_sites}
+    order. *)
+
 (** {1 Mega campaigns (streaming sufficient statistics)} *)
 
 val mega_plan :

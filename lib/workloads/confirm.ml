@@ -199,7 +199,7 @@ let signal_delivery =
 
 let mixed_linkage =
   test
-    ~overrides:[ ("legacy", Scheme.Unprotected) ]
+    ~overrides:[ ("legacy", Scheme.unprotected) ]
     "mixed_linkage" "instrumented caller into an uninstrumented library function"
     (Ast.program
        [

@@ -157,8 +157,8 @@ let measure ~scheme ~workers ?(variants = 10) () =
   if variants < 2 then invalid_arg "Server.measure";
   let samples = List.init variants (fun variant -> run_request ~scheme ~variant) in
   let base_samples =
-    if Scheme.equal scheme Scheme.Unprotected then samples
-    else List.init variants (fun variant -> run_request ~scheme:Scheme.Unprotected ~variant)
+    if Scheme.equal scheme Scheme.unprotected then samples
+    else List.init variants (fun variant -> run_request ~scheme:Scheme.unprotected ~variant)
   in
   let tps =
     List.map2
@@ -180,5 +180,8 @@ let measure ~scheme ~workers ?(variants = 10) () =
 let overhead_pct ~baseline r =
   (baseline.req_per_sec -. r.req_per_sec) /. baseline.req_per_sec *. 100.0
 
-let sweep_cells ?(worker_counts = [ 4; 8 ]) ?(schemes = [ Scheme.Unprotected; Scheme.pacstack_nomask; Scheme.pacstack ]) () =
+let sweep_cells ?(worker_counts = [ 4; 8 ])
+    ?(schemes =
+      [ Scheme.unprotected; Scheme.pacstack_nomask; Scheme.pacstack;
+        Scheme.pcan; Scheme.zipper; Scheme.pactight; Scheme.parts ]) () =
   List.concat_map (fun workers -> List.map (fun scheme -> (workers, scheme)) schemes) worker_counts

@@ -32,14 +32,14 @@ let check_attack ~scheme ~strategy expected =
 (* --- the §6.1 matrix ------------------------------------------------------------ *)
 
 let test_arbitrary_redirect () =
-  check_attack ~scheme:Scheme.Unprotected ~strategy:Reuse.Arbitrary_redirect Adversary.Hijacked;
-  check_attack ~scheme:Scheme.Stack_protector ~strategy:Reuse.Arbitrary_redirect
+  check_attack ~scheme:Scheme.unprotected ~strategy:Reuse.Arbitrary_redirect Adversary.Hijacked;
+  check_attack ~scheme:Scheme.stack_protector ~strategy:Reuse.Arbitrary_redirect
     Adversary.Hijacked;
   (* targeted writes sail past canaries *)
-  check_attack ~scheme:Scheme.Branch_protection ~strategy:Reuse.Arbitrary_redirect
+  check_attack ~scheme:Scheme.branch_protection ~strategy:Reuse.Arbitrary_redirect
     (Adversary.Detected "");
   (* an unsigned pointer fails retaa *)
-  check_attack ~scheme:Scheme.Shadow_stack ~strategy:Reuse.Arbitrary_redirect Adversary.Hijacked;
+  check_attack ~scheme:Scheme.shadow_stack ~strategy:Reuse.Arbitrary_redirect Adversary.Hijacked;
   (* a software shadow stack falls once its location is known *)
   check_attack ~scheme:Scheme.pacstack_nomask ~strategy:Reuse.Arbitrary_redirect
     (Adversary.Detected "");
@@ -48,19 +48,19 @@ let test_arbitrary_redirect () =
 let test_sibling_reuse () =
   (* the headline: every scheme except PACStack is bent by reusing the
      sibling's (signed) return address — including -mbranch-protection *)
-  check_attack ~scheme:Scheme.Unprotected ~strategy:Reuse.Sibling_reuse Adversary.Bent;
-  check_attack ~scheme:Scheme.Stack_protector ~strategy:Reuse.Sibling_reuse Adversary.Bent;
-  check_attack ~scheme:Scheme.Branch_protection ~strategy:Reuse.Sibling_reuse Adversary.Bent;
-  check_attack ~scheme:Scheme.Shadow_stack ~strategy:Reuse.Sibling_reuse Adversary.Bent;
+  check_attack ~scheme:Scheme.unprotected ~strategy:Reuse.Sibling_reuse Adversary.Bent;
+  check_attack ~scheme:Scheme.stack_protector ~strategy:Reuse.Sibling_reuse Adversary.Bent;
+  check_attack ~scheme:Scheme.branch_protection ~strategy:Reuse.Sibling_reuse Adversary.Bent;
+  check_attack ~scheme:Scheme.shadow_stack ~strategy:Reuse.Sibling_reuse Adversary.Bent;
   check_attack ~scheme:Scheme.pacstack_nomask ~strategy:Reuse.Sibling_reuse Adversary.No_effect;
   check_attack ~scheme:Scheme.pacstack ~strategy:Reuse.Sibling_reuse Adversary.No_effect
 
 let test_linear_overflow () =
-  check_attack ~scheme:Scheme.Unprotected ~strategy:Reuse.Linear_overflow Adversary.Hijacked;
-  check_attack ~scheme:Scheme.Stack_protector ~strategy:Reuse.Linear_overflow
+  check_attack ~scheme:Scheme.unprotected ~strategy:Reuse.Linear_overflow Adversary.Hijacked;
+  check_attack ~scheme:Scheme.stack_protector ~strategy:Reuse.Linear_overflow
     (Adversary.Detected "");
   (* the canary's home turf *)
-  check_attack ~scheme:Scheme.Branch_protection ~strategy:Reuse.Linear_overflow
+  check_attack ~scheme:Scheme.branch_protection ~strategy:Reuse.Linear_overflow
     (Adversary.Detected "");
   check_attack ~scheme:Scheme.pacstack_nomask ~strategy:Reuse.Linear_overflow
     (Adversary.Detected "");
@@ -69,7 +69,10 @@ let test_linear_overflow () =
 let test_matrix_shape () =
   let m = Reuse.matrix () in
   Alcotest.(check int) "three strategies" 3 (List.length m);
-  List.iter (fun (_, row) -> Alcotest.(check int) "six schemes" 6 (List.length row)) m
+  List.iter
+    (fun (_, row) ->
+      Alcotest.(check int) "all registered schemes" (List.length Scheme.all) (List.length row))
+    m
 
 (* --- signing gadget -------------------------------------------------------------- *)
 
@@ -140,10 +143,10 @@ let app_functions = [ "main"; "func"; "a"; "b" ]
 let test_interop_protected_app () =
   let overrides = List.map (fun f -> (f, Scheme.pacstack)) app_functions in
   Alcotest.check outcome "app-side protection holds" Adversary.No_effect
-    (Reuse.attack ~scheme:Scheme.Unprotected ~overrides Reuse.Sibling_reuse)
+    (Reuse.attack ~scheme:Scheme.unprotected ~overrides Reuse.Sibling_reuse)
 
 let test_interop_unprotected_app () =
-  let overrides = List.map (fun f -> (f, Scheme.Unprotected)) app_functions in
+  let overrides = List.map (fun f -> (f, Scheme.unprotected)) app_functions in
   Alcotest.check outcome "unprotected app remains attackable" Adversary.Bent
     (Reuse.attack ~scheme:Scheme.pacstack ~overrides Reuse.Sibling_reuse)
 
@@ -154,10 +157,10 @@ module Scenarios = Pacstack_workloads.Scenarios
 
 let test_gadget_surface_counts () =
   let victim = Scenarios.listing6 ~rounds:2 in
-  let base = Gscan.scan_scheme Scheme.Unprotected victim in
+  let base = Gscan.scan_scheme Scheme.unprotected victim in
   let pac = Gscan.scan_scheme Scheme.pacstack victim in
-  let bp = Gscan.scan_scheme Scheme.Branch_protection victim in
-  let scs = Gscan.scan_scheme Scheme.Shadow_stack victim in
+  let bp = Gscan.scan_scheme Scheme.branch_protection victim in
+  let scs = Gscan.scan_scheme Scheme.shadow_stack victim in
   Alcotest.(check int) "same return count" base.Gscan.total_returns pac.Gscan.total_returns;
   Alcotest.(check bool) "baseline has usable gadgets" true (base.Gscan.usable > 0);
   Alcotest.(check bool) "pacstack guards the app returns" true
@@ -216,6 +219,54 @@ let test_shadow_scan () =
     Alcotest.(check (option int64)) "finds the pushed entry" (Some 77L) (Adversary.read m slot)
   | None -> Alcotest.fail "shadow entry not found"
 
+(* --- Typed failure exceptions ------------------------------------------ *)
+
+(* Listing 6's shape — hooks and all — but with no [evil] landing pad:
+   the attack must fail with a payload naming the symbol and scheme, not
+   a bare [Failure]. *)
+let victim_without_evil =
+  let module Ast = Pacstack_minic.Ast in
+  let module B = Pacstack_minic.Build in
+  Ast.program
+    [
+      Ast.fdef "a" ~locals:[ Ast.Scalar "t" ]
+        B.[ Ast.Hook Scenarios.disclose_hook; set "t" (call "id" [ i 1 ]); ret (v "t") ];
+      Ast.fdef "id" ~params:[ "x" ] B.[ ret (v "x") ];
+      Ast.fdef "b" ~locals:[ Ast.Scalar "t" ]
+        B.[ Ast.Hook Scenarios.overwrite_hook; set "t" (call "id" [ i 2 ]); ret (v "t") ];
+      Ast.fdef "main" ~locals:[ Ast.Scalar "x" ]
+        B.[
+          set "x" (call "a" [] + call "b" []);
+          print (v "x");
+          ret (i 0);
+        ];
+    ]
+
+let test_missing_evil_payload () =
+  Alcotest.check_raises "payload carries symbol and scheme"
+    (Reuse.Missing_evil_function { symbol = "evil"; scheme = Scheme.unprotected })
+    (fun () ->
+      ignore
+        (Reuse.attack ~scheme:Scheme.unprotected ~victim:victim_without_evil
+           Reuse.Arbitrary_redirect))
+
+(* A victim that never halts: [benign_output] must identify the broken
+   victim/scheme pair instead of failing anonymously. *)
+let test_benign_run_failed_payload () =
+  let module Ast = Pacstack_minic.Ast in
+  let module B = Pacstack_minic.Build in
+  let spinner =
+    Ast.program
+      [
+        Ast.fdef "main" ~locals:[ Ast.Scalar "z" ]
+          B.[ set "z" (i 1); while_ (v "z" == i 1) []; ret (i 0) ];
+      ]
+  in
+  Alcotest.check_raises "payload carries scheme and outcome"
+    (Adversary.Benign_run_failed
+       { scheme = Scheme.pacstack; outcome = "benign run out of fuel" })
+    (fun () -> ignore (Adversary.benign_output Scheme.pacstack spinner))
+
 let () =
   Alcotest.run "attacker"
     [
@@ -259,5 +310,10 @@ let () =
         [
           Alcotest.test_case "W^X binds the adversary" `Quick test_adversary_respects_wxorx;
           Alcotest.test_case "shadow-region scan" `Quick test_shadow_scan;
+        ] );
+      ( "typed-failures",
+        [
+          Alcotest.test_case "missing evil function" `Quick test_missing_evil_payload;
+          Alcotest.test_case "benign run failed" `Quick test_benign_run_failed_payload;
         ] );
     ]

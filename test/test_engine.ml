@@ -103,7 +103,7 @@ let check_same ~what a b =
   if not (Int64.equal a.trace_hash b.trace_hash) then
     Alcotest.failf "%s: pc-trace hash differs over %d steps" what a.trace_len
 
-(* --- 200 fuzz programs x 6 schemes, full-run equivalence --------------- *)
+(* --- 200 fuzz programs x all registered schemes, full-run equivalence --------------- *)
 
 let test_differential () =
   for seed = 0 to 199 do
@@ -269,7 +269,7 @@ let () =
     [
       ( "differential",
         [
-          Alcotest.test_case "200 seeds x 6 schemes bit-identical" `Quick
+          Alcotest.test_case "200 seeds x all registered schemes bit-identical" `Quick
             test_differential;
           Alcotest.test_case "step lockstep" `Quick test_step_lockstep;
           Alcotest.test_case "run_until pauses identically" `Quick

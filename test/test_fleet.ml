@@ -194,7 +194,7 @@ let test_costs_memoized_and_ordered () =
   Alcotest.(check bool) "bigger request costs more" true (big.Connection.cycles > a.Connection.cycles);
   Alcotest.(check bool) "pacstack adds memory traffic" true
     (Connection.Costs.extra_mem costs ~records:72 > 0.0);
-  let base = Connection.Costs.create ~scheme:Scheme.Unprotected in
+  let base = Connection.Costs.create ~scheme:Scheme.unprotected in
   Alcotest.(check (float 1e-9)) "unprotected has no extra" 0.0
     (Connection.Costs.extra_mem base ~records:72)
 
@@ -207,7 +207,7 @@ let small_config arrival_name =
     duration_s = 0.6;
     cells = 4;
     arrival = List.assoc arrival_name Arrival.presets;
-    schemes = [ Scheme.Unprotected; Scheme.pacstack ];
+    schemes = [ Scheme.unprotected; Scheme.pacstack ];
     seed = 99L;
   }
 
@@ -245,7 +245,7 @@ let test_cells_cover_connections () =
      per-cell offered counts sum to the full open-loop offered load *)
   let per_cell =
     List.init cfg.Fleet.cells (fun cell ->
-        (Fleet.run_cell cfg ~scheme:Scheme.Unprotected ~cell ()).Fleet.offered)
+        (Fleet.run_cell cfg ~scheme:Scheme.unprotected ~cell ()).Fleet.offered)
   in
   let whole =
     List.fold_left (fun acc c -> acc + count_arrivals cfg.Fleet.arrival ~seed:cfg.Fleet.seed ~conn:c ~until_s:cfg.Fleet.duration_s)
@@ -268,7 +268,7 @@ let test_fleet_sanity () =
       Alcotest.(check bool) "utilisation positive" true (Fleet.utilisation cfg r > 0.0))
     rows;
   let find scheme = List.find (fun (r : Fleet.stats) -> Scheme.equal r.Fleet.scheme scheme) rows in
-  let base = find Scheme.Unprotected and pac = find Scheme.pacstack in
+  let base = find Scheme.unprotected and pac = find Scheme.pacstack in
   Alcotest.(check bool) "pacstack requests are slower" true
     (Latency.mean pac.Fleet.latency > Latency.mean base.Fleet.latency)
 

@@ -139,7 +139,7 @@ let plant_wrong_constant (p : Program.t) =
 let planted_cfg =
   {
     Oracle.default_config with
-    Oracle.schemes = [ Scheme.Unprotected ];
+    Oracle.schemes = [ Scheme.unprotected ];
     optimize = [ false ];
     transform = Some plant_wrong_constant;
   }

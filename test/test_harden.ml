@@ -24,8 +24,8 @@ let test_scheme_roundtrip () =
     Scheme.all
 
 let test_scheme_aliases () =
-  Alcotest.(check bool) "scs alias" true (Scheme.of_string "scs" = Some Scheme.Shadow_stack);
-  Alcotest.(check bool) "none alias" true (Scheme.of_string "none" = Some Scheme.Unprotected);
+  Alcotest.(check bool) "scs alias" true (Scheme.of_string "scs" = Some Scheme.shadow_stack);
+  Alcotest.(check bool) "none alias" true (Scheme.of_string "none" = Some Scheme.unprotected);
   Alcotest.(check bool) "unknown" true (Scheme.of_string "pac" = None)
 
 let test_chain_register_reservation () =
@@ -33,7 +33,7 @@ let test_chain_register_reservation () =
   Alcotest.(check bool) "nomask reserves CR" true
     (Scheme.uses_chain_register Scheme.pacstack_nomask);
   Alcotest.(check bool) "baseline does not" false
-    (Scheme.uses_chain_register Scheme.Unprotected)
+    (Scheme.uses_chain_register Scheme.unprotected)
 
 (* --- Frame -------------------------------------------------------------------- *)
 
@@ -47,22 +47,22 @@ let test_traits_validation () =
       ignore (Frame.traits ~locals_bytes:8 ()))
 
 let test_protects_return () =
-  Alcotest.(check bool) "baseline never" false (Frame.protects_return Scheme.Unprotected nonleaf);
+  Alcotest.(check bool) "baseline never" false (Frame.protects_return Scheme.unprotected nonleaf);
   Alcotest.(check bool) "canary needs arrays" false
-    (Frame.protects_return Scheme.Stack_protector nonleaf);
+    (Frame.protects_return Scheme.stack_protector nonleaf);
   Alcotest.(check bool) "canary with arrays" true
-    (Frame.protects_return Scheme.Stack_protector arrays);
+    (Frame.protects_return Scheme.stack_protector arrays);
   Alcotest.(check bool) "pacstack non-leaf" true (Frame.protects_return Scheme.pacstack nonleaf);
   Alcotest.(check bool) "pacstack skips leaves" false (Frame.protects_return Scheme.pacstack leaf);
   Alcotest.(check bool) "bp skips leaves" false
-    (Frame.protects_return Scheme.Branch_protection leaf)
+    (Frame.protects_return Scheme.branch_protection leaf)
 
 let test_frame_overhead () =
   Alcotest.(check int) "pacstack +16" 16 (Frame.frame_overhead_bytes Scheme.pacstack nonleaf);
-  Alcotest.(check int) "scs +8" 8 (Frame.frame_overhead_bytes Scheme.Shadow_stack nonleaf);
+  Alcotest.(check int) "scs +8" 8 (Frame.frame_overhead_bytes Scheme.shadow_stack nonleaf);
   Alcotest.(check int) "canary +16 on arrays" 16
-    (Frame.frame_overhead_bytes Scheme.Stack_protector arrays);
-  Alcotest.(check int) "bp +0" 0 (Frame.frame_overhead_bytes Scheme.Branch_protection nonleaf);
+    (Frame.frame_overhead_bytes Scheme.stack_protector arrays);
+  Alcotest.(check int) "bp +0" 0 (Frame.frame_overhead_bytes Scheme.branch_protection nonleaf);
   Alcotest.(check int) "leaf +0" 0 (Frame.frame_overhead_bytes Scheme.pacstack leaf)
 
 let sp = Reg.SP
@@ -127,26 +127,26 @@ let test_branch_protection_listing1 () =
   let t = Frame.traits () in
   Alcotest.check check_seq "prologue"
     [ Instr.Paciasp; Instr.Stp (fp, lr, mem sp (-16) Instr.Pre); Instr.Mov (fp, Instr.Reg sp) ]
-    (Frame.prologue Scheme.Branch_protection t);
+    (Frame.prologue Scheme.branch_protection t);
   Alcotest.check check_seq "epilogue"
     [ Instr.Ldp (fp, lr, mem sp 16 Instr.Post); Instr.Retaa ]
-    (Frame.epilogue Scheme.Branch_protection t)
+    (Frame.epilogue Scheme.branch_protection t)
 
 let test_shadow_stack_sequences () =
   let t = Frame.traits () in
-  (match Frame.prologue Scheme.Shadow_stack t with
+  (match Frame.prologue Scheme.shadow_stack t with
   | Instr.Str (r, { Instr.base; offset = 8; index = Instr.Post }) :: _ ->
     Alcotest.(check bool) "pushes LR via X18" true (Reg.equal r lr && Reg.equal base Reg.shadow)
   | _ -> Alcotest.fail "expected shadow push first");
-  match List.rev (Frame.epilogue Scheme.Shadow_stack t) with
+  match List.rev (Frame.epilogue Scheme.shadow_stack t) with
   | Instr.Ret _ :: Instr.Ldr (r, { Instr.base; offset = -8; index = Instr.Pre }) :: _ ->
     Alcotest.(check bool) "pops LR from X18" true (Reg.equal r lr && Reg.equal base Reg.shadow)
   | _ -> Alcotest.fail "expected shadow pop before ret"
 
 let test_canary_sequences () =
   let t = arrays in
-  let prologue = Frame.prologue Scheme.Stack_protector t in
-  let epilogue = Frame.epilogue Scheme.Stack_protector t in
+  let prologue = Frame.prologue Scheme.stack_protector t in
+  let epilogue = Frame.epilogue Scheme.stack_protector t in
   Alcotest.(check bool) "prologue stores canary" true
     (List.exists
        (function Instr.Str (_, { Instr.offset; _ }) -> offset = Frame.canary_slot t | _ -> false)
@@ -167,7 +167,7 @@ let test_leaf_frames_minimal () =
         (Scheme.to_string scheme ^ " leaf epilogue")
         [ Instr.Add (sp, sp, Instr.Imm 16L); Instr.Ret lr ]
         (Frame.epilogue scheme leaf))
-    [ Scheme.Unprotected; Scheme.Branch_protection; Scheme.Shadow_stack; Scheme.pacstack ]
+    [ Scheme.unprotected; Scheme.branch_protection; Scheme.shadow_stack; Scheme.pacstack ]
 
 let test_locals_allocation () =
   let t = Frame.traits ~locals_bytes:48 () in
@@ -187,16 +187,132 @@ let test_runtime_wellformed () =
 
 let test_runtime_entries () =
   Alcotest.(check string) "plain setjmp" Runtime.setjmp_symbol
-    (Runtime.setjmp_entry Scheme.Unprotected);
+    (Runtime.setjmp_entry Scheme.unprotected);
   Alcotest.(check string) "pacstack setjmp" Runtime.pacstack_setjmp_symbol
     (Runtime.setjmp_entry Scheme.pacstack);
   Alcotest.(check string) "pacstack longjmp" Runtime.pacstack_longjmp_symbol
     (Runtime.longjmp_entry Scheme.pacstack_nomask);
   Alcotest.(check string) "scs longjmp is plain" Runtime.longjmp_symbol
-    (Runtime.longjmp_entry Scheme.Shadow_stack)
+    (Runtime.longjmp_entry Scheme.shadow_stack)
 
 let test_runtime_jmp_buf_size () =
   Alcotest.(check bool) "slots fit the buffer" true (Runtime.jmp_buf_bytes >= 112)
+
+(* --- Registry ---------------------------------------------------------------- *)
+
+module Oracle = Pacstack_fuzz.Oracle
+module Driver = Pacstack_fuzz.Driver
+module Fault = Pacstack_inject.Fault
+module Engine = Pacstack_inject.Engine
+
+let test_registry_count () =
+  Alcotest.(check int) "all lists every registration" (Scheme.registered_count ())
+    (List.length Scheme.all);
+  Alcotest.(check int) "ten schemes ship" 10 (List.length Scheme.all);
+  Alcotest.(check (list string)) "legacy six lead the table"
+    (List.map Scheme.to_string Scheme.legacy)
+    (List.map Scheme.to_string (List.filteri (fun i _ -> i < 6) Scheme.all))
+
+let qcheck_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"of_string (to_string s) = Some s" ~count:200
+       (QCheck2.Gen.oneofl Scheme.all) (fun s ->
+         match Scheme.of_string (Scheme.to_string s) with
+         | Some s' -> Scheme.equal s s'
+         | None -> false))
+
+let test_aliases_resolve () =
+  List.iter
+    (fun s ->
+      let d = Scheme.descriptor s in
+      List.iter
+        (fun alias ->
+          Alcotest.(check bool)
+            (Printf.sprintf "alias %S -> %s" alias d.Scheme.name)
+            true
+            (match Scheme.of_string alias with
+            | Some s' -> Scheme.equal s s'
+            | None -> false))
+        d.Scheme.aliases)
+    Scheme.all
+
+let test_duplicate_rejected () =
+  let before = Scheme.registered_count () in
+  let probe suffix aliases =
+    { (Scheme.descriptor Scheme.pacstack) with Scheme.name = "dup-probe-" ^ suffix; aliases }
+  in
+  (* canonical name taken (case-insensitively) *)
+  Alcotest.check_raises "duplicate name"
+    (Scheme.Duplicate_scheme { name = "PACStack"; key = "pacstack" })
+    (fun () ->
+      ignore (Scheme.register { (probe "n" []) with Scheme.name = "PACStack" }));
+  (* alias taken by another scheme's alias table *)
+  Alcotest.check_raises "duplicate alias"
+    (Scheme.Duplicate_scheme { name = "dup-probe-a"; key = "scs" })
+    (fun () -> ignore (Scheme.register (probe "a" [ "fresh-alias"; "SCS" ])));
+  Alcotest.(check int) "failed registration leaves the table untouched" before
+    (Scheme.registered_count ());
+  Alcotest.(check bool) "rejected keys stay unclaimed" true
+    (Scheme.of_string "dup-probe-a" = None && Scheme.of_string "fresh-alias" = None)
+
+(* The slot a scheme declares as its control surface, as an injection
+   site the fault engine can strike. *)
+let site_of_slot = function
+  | Scheme.Return_slot -> Fault.Ret_slot
+  | Scheme.Chain_slot -> Fault.Chain_spill
+  | Scheme.Shadow_slot -> Fault.Shadow_slot
+
+(* Every registered scheme — including any future eleventh — must make
+   it through the whole evaluation pipeline: frame codegen, the
+   differential fuzz oracle, and a fault at its own control slot. *)
+let test_registry_conformance () =
+  let campaign_seed = 0xC0FFEEL in
+  List.iter
+    (fun scheme ->
+      let name = Scheme.to_string scheme in
+      (* codegen over the trait corners used throughout this file *)
+      List.iter
+        (fun t ->
+          let prologue = Frame.prologue scheme t in
+          let epilogue = Frame.epilogue scheme t in
+          Alcotest.(check bool)
+            (name ^ ": epilogue returns")
+            true
+            (match List.rev epilogue with
+            | (Instr.Ret _ | Instr.Retaa | Instr.Br _) :: _ -> true
+            | _ -> false);
+          ignore prologue)
+        [ nonleaf; leaf; arrays ];
+      (* one fuzz seed through the differential oracle, peephole off/on *)
+      (match
+         Oracle.check
+           { Oracle.default_config with Oracle.schemes = [ scheme ] }
+           (Driver.program_of_seed ~campaign_seed 0)
+       with
+      | Oracle.Agree runs ->
+        Alcotest.(check bool) (name ^ ": oracle ran both variants") true (runs >= 2)
+      | Oracle.Disagree _ -> Alcotest.failf "%s: oracle divergence on seed 0" name
+      | Oracle.Skipped why -> Alcotest.failf "%s: oracle skipped seed 0: %s" name why);
+      (* one injection at the scheme's declared control slot *)
+      let target = site_of_slot (Scheme.descriptor scheme).Scheme.control_slot in
+      let rec find_fault i =
+        if i >= 512 then Alcotest.failf "%s: no fault hits %s in 512 derivations" name
+            (Fault.site_to_string target)
+        else if (Fault.derive ~campaign_seed i).Fault.site = target then i
+        else find_fault (i + 1)
+      in
+      let fault = find_fault 0 in
+      match
+        Engine.run_fault
+          { Engine.default_config with Engine.schemes = [ scheme ] }
+          ~campaign_seed fault
+      with
+      | [ r ] ->
+        Alcotest.(check bool) (name ^ ": fault ran at its control slot") true
+          (Scheme.equal r.Engine.scheme scheme
+          && r.Engine.spec.Fault.site = target)
+      | rs -> Alcotest.failf "%s: expected one result, got %d" name (List.length rs))
+    Scheme.all
 
 let () =
   Alcotest.run "harden"
@@ -226,5 +342,13 @@ let () =
           Alcotest.test_case "well-formed" `Quick test_runtime_wellformed;
           Alcotest.test_case "per-scheme entries" `Quick test_runtime_entries;
           Alcotest.test_case "jmp_buf size" `Quick test_runtime_jmp_buf_size;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "count pins coverage" `Quick test_registry_count;
+          qcheck_roundtrip;
+          Alcotest.test_case "aliases resolve" `Quick test_aliases_resolve;
+          Alcotest.test_case "duplicates rejected" `Quick test_duplicate_rejected;
+          Alcotest.test_case "every scheme end-to-end" `Quick test_registry_conformance;
         ] );
     ]

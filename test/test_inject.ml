@@ -102,7 +102,7 @@ let test_window_silent_without_authentication () =
   let cfg =
     {
       Engine.default_config with
-      Engine.schemes = [ Scheme.Unprotected; Scheme.Branch_protection; Scheme.Shadow_stack ];
+      Engine.schemes = [ Scheme.unprotected; Scheme.branch_protection; Scheme.shadow_stack ];
     }
   in
   List.iter
@@ -118,7 +118,7 @@ let test_signal_frame_chained_vs_unprotected () =
   let seed = 42L in
   let idx = first_site_index ~campaign_seed:seed Fault.Signal_frame in
   let cfg =
-    { Engine.default_config with Engine.schemes = [ Scheme.Unprotected; Scheme.pacstack ] }
+    { Engine.default_config with Engine.schemes = [ Scheme.unprotected; Scheme.pacstack ] }
   in
   match Engine.run_fault cfg ~campaign_seed:seed idx with
   | [ unprotected; pacstack ] ->
@@ -192,7 +192,7 @@ let test_pacstack_chain_corruption_trap () =
 let test_shadow_corruption_traps () =
   let top hm = Int64.sub (Machine.get hm Reg.shadow) 8L in
   let outcome, last =
-    run_corrupted ~scheme:Scheme.Shadow_stack ~corrupt:(fun hm ->
+    run_corrupted ~scheme:Scheme.shadow_stack ~corrupt:(fun hm ->
         xor_mem hm (top hm) (Int64.shift_left 1L 30))
   in
   (match outcome with
@@ -205,7 +205,7 @@ let test_shadow_corruption_traps () =
       | Machine.Out_of_fuel -> "out of fuel"));
   Alcotest.(check bool) "unmapped trap at the ret" true (is_ret last);
   let outcome, last =
-    run_corrupted ~scheme:Scheme.Shadow_stack ~corrupt:(fun hm ->
+    run_corrupted ~scheme:Scheme.shadow_stack ~corrupt:(fun hm ->
         let guard = Option.get (Image.symbol (Machine.image hm) Machine.canary_symbol) in
         Memory.store64 (Machine.memory hm) (top hm) guard)
   in
@@ -360,7 +360,7 @@ let test_mega_reproducer_cap () =
   let mk fault = { Engine.fault; scheme = "s"; site = "return-slot" } in
   let silent_result fault =
     { Engine.spec = Fault.derive ~campaign_seed:1L fault;
-      scheme = Scheme.Unprotected;
+      scheme = Scheme.unprotected;
       classification = Engine.Silent }
   in
   let t =

@@ -13,7 +13,7 @@ module Frame = Pacstack_harden.Frame
 
 let qtest name count gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
 
-let run_program ?(scheme = Scheme.Unprotected) prog =
+let run_program ?(scheme = Scheme.unprotected) prog =
   let compiled = Compile.compile ~scheme prog in
   let m = Machine.load compiled in
   match Machine.run ~fuel:1_000_000 m with
@@ -206,16 +206,16 @@ let expect_error f =
   | _ -> Alcotest.fail "expected Compile.Error"
 
 let test_unknown_variable () =
-  expect_error (fun () -> Compile.compile ~scheme:Scheme.Unprotected (main B.[ ret (v "nope") ]))
+  expect_error (fun () -> Compile.compile ~scheme:Scheme.unprotected (main B.[ ret (v "nope") ]))
 
 let test_duplicate_variable () =
   expect_error (fun () ->
-      Compile.compile ~scheme:Scheme.Unprotected
+      Compile.compile ~scheme:Scheme.unprotected
         (main ~locals:[ Ast.Scalar "x"; Ast.Scalar "x" ] B.[ ret (i 0) ]))
 
 let test_too_many_args () =
   expect_error (fun () ->
-      Compile.compile ~scheme:Scheme.Unprotected
+      Compile.compile ~scheme:Scheme.unprotected
         (Ast.program
            [
              Ast.fdef "f" ~params:[ "a" ] B.[ ret (v "a") ];
@@ -225,11 +225,11 @@ let test_too_many_args () =
 let test_expression_too_deep () =
   let rec deep n = if n = 0 then B.i 1 else B.( + ) (deep (n - 1)) (deep (n - 1)) in
   expect_error (fun () ->
-      Compile.compile ~scheme:Scheme.Unprotected (main B.[ ret (deep 8) ]))
+      Compile.compile ~scheme:Scheme.unprotected (main B.[ ret (deep 8) ]))
 
 let test_bad_array_size () =
   expect_error (fun () ->
-      Compile.compile ~scheme:Scheme.Unprotected
+      Compile.compile ~scheme:Scheme.unprotected
         (main ~locals:[ Ast.Array ("a", 0) ] B.[ ret (i 0) ]))
 
 (* --- traits --------------------------------------------------------------------- *)
@@ -433,7 +433,7 @@ let prop_peephole_preserves =
           Trace.equal
             (Oracle.machine_trace Oracle.default_config ~scheme ~optimize:false prog)
             (Oracle.machine_trace Oracle.default_config ~scheme ~optimize:true prog))
-        [ Scheme.Unprotected; Scheme.pacstack ])
+        [ Scheme.unprotected; Scheme.pacstack ])
 
 let test_peephole_reduces () =
   let prog =
@@ -443,8 +443,8 @@ let test_peephole_reduces () =
           B.[ set "x" (i 5); print (v "x"); ret (i 0) ];
       ]
   in
-  let plain = Compile.compile ~scheme:Scheme.Unprotected prog in
-  let opt = Compile.compile ~scheme:Scheme.Unprotected ~optimize:true prog in
+  let plain = Compile.compile ~scheme:Scheme.unprotected prog in
+  let opt = Compile.compile ~scheme:Scheme.unprotected ~optimize:true prog in
   Alcotest.(check bool) "strictly fewer instructions" true
     (Peephole.removed_count plain opt > 0)
 
@@ -461,7 +461,7 @@ let test_separate_compilation () =
   let units =
     [
       Compile.compile_unit ~scheme:Scheme.pacstack app;
-      Compile.compile_unit ~scheme:Scheme.Unprotected lib;
+      Compile.compile_unit ~scheme:Scheme.unprotected lib;
       Compile.runtime_unit ();
     ]
   in
@@ -477,7 +477,7 @@ let test_separate_compilation () =
 
 let test_undefined_reference_refused () =
   let app = Ast.program [ Ast.fdef "main" B.[ print (call "nowhere" [ i 1 ]); ret (i 0) ] ] in
-  let u = Compile.compile_unit ~scheme:Scheme.Unprotected app in
+  let u = Compile.compile_unit ~scheme:Scheme.unprotected app in
   match Pacstack_isa.Link.link [ u; Compile.runtime_unit () ] with
   | exception Pacstack_isa.Link.Link_error (Pacstack_isa.Link.Undefined_symbols [ "nowhere" ]) ->
     ()

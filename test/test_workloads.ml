@@ -15,8 +15,8 @@ module Machine = Pacstack_machine.Machine
 let test_benchmarks_deterministic () =
   List.iter
     (fun b ->
-      let m1 = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
-      let m2 = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
+      let m1 = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
+      let m2 = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
       Alcotest.(check int64) (b.Speclike.name ^ " checksum stable") m1.Speclike.checksum
         m2.Speclike.checksum;
       Alcotest.(check int) (b.Speclike.name ^ " cycles stable") m1.Speclike.cycles
@@ -26,7 +26,7 @@ let test_benchmarks_deterministic () =
 let test_schemes_preserve_semantics () =
   List.iter
     (fun b ->
-      let base = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
+      let base = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
       List.iter
         (fun scheme ->
           let m = Speclike.measure ~scheme Speclike.Rate b in
@@ -41,7 +41,7 @@ let test_overhead_ordering () =
      speeds a program up *)
   List.iter
     (fun b ->
-      let base = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
+      let base = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
       let nomask = Speclike.measure ~scheme:Scheme.pacstack_nomask Speclike.Rate b in
       let masked = Speclike.measure ~scheme:Scheme.pacstack Speclike.Rate b in
       Alcotest.(check bool) (b.Speclike.name ^ " nomask >= baseline") true
@@ -55,7 +55,7 @@ let test_call_density_spectrum () =
      (no calls in the hot loop) — the Figure 5 shape *)
   let overhead name =
     let b = Option.get (Speclike.find name) in
-    let base = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
+    let base = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
     Speclike.overhead_pct ~baseline:base (Speclike.measure ~scheme:Scheme.pacstack Speclike.Rate b)
   in
   let gcc = overhead "gcc" and lbm = overhead "lbm" in
@@ -64,8 +64,8 @@ let test_call_density_spectrum () =
 
 let test_speed_variant_larger () =
   let b = Option.get (Speclike.find "mcf") in
-  let rate = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
-  let speed = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Speed b in
+  let rate = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
+  let speed = Speclike.measure ~scheme:Scheme.unprotected Speclike.Speed b in
   Alcotest.(check bool) "speed runs longer" true (speed.Speclike.cycles > 2 * rate.Speclike.cycles)
 
 let test_find () =
@@ -78,7 +78,7 @@ let test_find () =
 let test_cpp_semantics_and_overheads () =
   List.iter
     (fun b ->
-      let base = Speclike.measure ~scheme:Scheme.Unprotected Speclike.Rate b in
+      let base = Speclike.measure ~scheme:Scheme.unprotected Speclike.Rate b in
       let masked = Speclike.measure ~scheme:Scheme.pacstack Speclike.Rate b in
       Alcotest.(check int64) (b.Speclike.name ^ " checksum") base.Speclike.checksum
         masked.Speclike.checksum;
@@ -92,9 +92,9 @@ let test_cpp_semantics_and_overheads () =
 (* --- server ----------------------------------------------------------------------- *)
 
 let test_server_overheads () =
-  let base4 = Server.measure ~scheme:Scheme.Unprotected ~workers:4 ~variants:4 () in
+  let base4 = Server.measure ~scheme:Scheme.unprotected ~workers:4 ~variants:4 () in
   let pac4 = Server.measure ~scheme:Scheme.pacstack ~workers:4 ~variants:4 () in
-  let base8 = Server.measure ~scheme:Scheme.Unprotected ~workers:8 ~variants:4 () in
+  let base8 = Server.measure ~scheme:Scheme.unprotected ~workers:8 ~variants:4 () in
   let pac8 = Server.measure ~scheme:Scheme.pacstack ~workers:8 ~variants:4 () in
   let oh4 = Server.overhead_pct ~baseline:base4 pac4 in
   let oh8 = Server.overhead_pct ~baseline:base8 pac8 in
@@ -106,7 +106,7 @@ let test_server_overheads () =
 
 let test_server_validation () =
   Alcotest.check_raises "too few variants" (Invalid_argument "Server.measure") (fun () ->
-      ignore (Server.measure ~scheme:Scheme.Unprotected ~workers:4 ~variants:1 ()))
+      ignore (Server.measure ~scheme:Scheme.unprotected ~workers:4 ~variants:1 ()))
 
 (* --- confirm ---------------------------------------------------------------------- *)
 
